@@ -1,0 +1,16 @@
+"""PerSpectron reproduction: fault-tolerant trace ingestion and detection.
+
+Layers (each importable on its own):
+
+- :mod:`repro.sim`      -- the ``Trace`` codec for the ``.trace_cache`` format
+- :mod:`repro.ingest`   -- retrying, quarantining corpus loader
+- :mod:`repro.features` -- sanitization + persisted z-score normalization
+- :mod:`repro.model`    -- hashed-weight perceptron detector
+- :mod:`repro.pipeline` -- train/eval CLI (``python -m repro.pipeline``)
+"""
+
+from . import errors
+
+__version__ = "0.1.0"
+
+__all__ = ["errors", "__version__"]

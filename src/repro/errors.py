@@ -1,0 +1,100 @@
+"""Shared error taxonomy for the PerSpectron reproduction.
+
+Every failure that crosses a layer boundary is typed.  The ingest layer
+relies on this: anything that is a :class:`TraceDecodeError` is a permanent,
+per-file problem (quarantine, never retry), anything that is a
+:class:`TransientIOError`-ish ``OSError`` is retried with backoff, and
+everything else is a bug that must surface loudly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+    #: short machine-readable tag used in quarantine manifests / logs
+    code = "repro_error"
+
+    def describe(self) -> dict:
+        return {"code": self.code, "type": type(self).__name__, "message": str(self)}
+
+
+# ---------------------------------------------------------------------------
+# codec errors
+# ---------------------------------------------------------------------------
+
+
+class TraceDecodeError(ReproError):
+    """A trace file could not be decoded.  Permanent: do not retry."""
+
+    code = "decode_error"
+
+
+class BadHeader(TraceDecodeError):
+    """The file preamble is not a recognised trace-cache header."""
+
+    code = "bad_header"
+
+
+class TruncatedTrace(TraceDecodeError):
+    """The byte stream ends before the trace body is complete."""
+
+    code = "truncated"
+
+
+class SchemaMismatch(TraceDecodeError):
+    """The body decodes but does not describe a well-formed Trace."""
+
+    code = "schema_mismatch"
+
+
+class DecodeTimeout(TraceDecodeError):
+    """Decoding exceeded its per-file time budget (possible decompression
+    bomb or pathological corruption)."""
+
+    code = "decode_timeout"
+
+
+# ---------------------------------------------------------------------------
+# ingest errors
+# ---------------------------------------------------------------------------
+
+
+class IngestError(ReproError):
+    code = "ingest_error"
+
+
+class RetryExhausted(IngestError):
+    """All retry attempts for a transient failure were consumed."""
+
+    code = "retry_exhausted"
+
+    def __init__(self, message: str, attempts: int, last: BaseException | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d["attempts"] = self.attempts
+        if self.last is not None:
+            d["last_error"] = f"{type(self.last).__name__}: {self.last}"
+        return d
+
+
+class InjectedIOError(OSError):
+    """Fault-injection stand-in for a transient I/O failure."""
+
+
+# ---------------------------------------------------------------------------
+# feature / model errors
+# ---------------------------------------------------------------------------
+
+
+class FeatureError(ReproError):
+    code = "feature_error"
+
+
+class ModelError(ReproError):
+    code = "model_error"

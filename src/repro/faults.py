@@ -1,0 +1,123 @@
+"""Fault injection for robustness testing.
+
+A :class:`FaultInjector` is threaded through the ingest layer and can
+
+- raise :class:`~repro.errors.InjectedIOError` from the byte reader
+  (transient by default, so the retry layer gets exercised), and
+- corrupt the bytes a reader returned (flips, truncation, byte deletion,
+  header smashing) so the codec's typed-error paths get exercised.
+
+All decisions are deterministic in ``(seed, path, attempt)`` so failing runs
+replay exactly.  Enable via the pipeline ``--faults`` flag or the
+``REPRO_FAULTS`` environment variable, e.g. ``REPRO_FAULTS="io=0.2,corrupt=0.25,seed=7"``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from .errors import InjectedIOError
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: corruption modes the injector picks between (uniformly)
+_CORRUPT_MODES = ("flip", "truncate", "drop", "header")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities for each fault site, all in ``[0, 1]``."""
+
+    io_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    seed: int = 0
+    #: if True an injected I/O error is re-rolled every attempt, so retries
+    #: usually recover; if False a chosen path fails every attempt.
+    transient: bool = True
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"io=0.2,corrupt=0.25,seed=7,persistent"`` style specs."""
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part == "persistent":
+                kwargs["transient"] = False
+                continue
+            if part == "transient":
+                kwargs["transient"] = True
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key in ("io", "io_rate"):
+                kwargs["io_rate"] = float(value)
+            elif key in ("corrupt", "corrupt_rate"):
+                kwargs["corrupt_rate"] = float(value)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(f"unknown fault spec field: {key!r}")
+        return cls(**kwargs)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        spec = os.environ.get(ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    @property
+    def active(self) -> bool:
+        return self.io_rate > 0 or self.corrupt_rate > 0
+
+
+class FaultInjector:
+    """Stateless decision maker; all randomness is derived per call."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def _rng(self, path: str, salt: str) -> random.Random:
+        return random.Random(f"{self.plan.seed}:{salt}:{path}")
+
+    def maybe_io_error(self, path: str, attempt: int) -> None:
+        """Raise an injected transient I/O error for this (path, attempt)."""
+        if self.plan.io_rate <= 0:
+            return
+        salt = f"io:{attempt}" if self.plan.transient else "io"
+        if self._rng(path, salt).random() < self.plan.io_rate:
+            raise InjectedIOError(f"injected I/O failure (attempt {attempt}) reading {path}")
+
+    def will_corrupt(self, path: str) -> bool:
+        if self.plan.corrupt_rate <= 0:
+            return False
+        return self._rng(path, "corrupt?").random() < self.plan.corrupt_rate
+
+    def corrupt(self, data: bytes, path: str) -> bytes:
+        """Damage ``data`` in one of several ways; no-op if the per-path roll
+        says this file stays clean."""
+        if not self.will_corrupt(path):
+            return data
+        rng = self._rng(path, "corrupt-how")
+        mode = rng.choice(_CORRUPT_MODES)
+        buf = bytearray(data)
+        if mode == "header" or len(buf) < 16:
+            for i in range(min(8, len(buf))):
+                buf[i] = rng.randrange(256)
+        elif mode == "flip":
+            for _ in range(rng.randint(1, 64)):
+                buf[rng.randrange(len(buf))] ^= 1 << rng.randrange(8)
+        elif mode == "truncate":
+            buf = buf[: rng.randrange(len(buf))]
+        elif mode == "drop":
+            # delete a handful of byte ranges (mimics the seed capture damage)
+            for _ in range(rng.randint(1, 8)):
+                if len(buf) < 2:
+                    break
+                start = rng.randrange(len(buf) - 1)
+                del buf[start : start + rng.randint(1, 16)]
+        return bytes(buf)

@@ -1,0 +1,7 @@
+"""Feature layer: per-interval feature assembly, NaN/Inf sanitization, and
+z-score normalization with persisted statistics."""
+
+from .assemble import Dataset, build_dataset
+from .normalize import Normalizer
+
+__all__ = ["Dataset", "build_dataset", "Normalizer"]

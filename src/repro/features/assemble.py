@@ -1,0 +1,91 @@
+"""Assemble per-interval feature matrices from decoded traces.
+
+Each interval row of each trace becomes one sample; ``groups`` maps samples
+back to their source trace so splits and trace-level verdicts never leak
+intervals of one trace across the train/test boundary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FeatureError
+from ..sim.trace import Trace
+from ..telemetry import get_logger, log_event
+
+logger = get_logger("repro.features")
+
+
+@dataclass
+class Dataset:
+    """Flattened per-interval samples plus per-trace bookkeeping."""
+
+    X: np.ndarray  # (n_samples, n_features) float64, may contain NaN
+    y: np.ndarray  # (n_samples,) int, -1 benign / +1 attack
+    groups: np.ndarray  # (n_samples,) int index into `traces`
+    traces: list[Trace] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    def trace_labels(self) -> np.ndarray:
+        return np.array([1 if t.is_attack else -1 for t in self.traces], dtype=np.int64)
+
+
+def build_dataset(traces: list[Trace]) -> Dataset:
+    """Stack interval rows of all traces sharing the modal feature width.
+
+    Traces with a different width (a damaged capture or a foreign schema) are
+    skipped with a logged reason rather than poisoning the matrix.
+    """
+    if not traces:
+        raise FeatureError("no traces to assemble")
+    widths = Counter(t.n_features for t in traces)
+    width = widths.most_common(1)[0][0]
+
+    kept: list[Trace] = []
+    skipped: list[tuple[str, str]] = []
+    blocks, labels, groups = [], [], []
+    for trace in traces:
+        if trace.n_features != width:
+            reason = f"feature_width_{trace.n_features}_vs_{width}"
+            skipped.append((trace.program, reason))
+            log_event(logger, "features.skip", program=trace.program, reason=reason)
+            continue
+        if trace.n_intervals == 0:
+            skipped.append((trace.program, "no_intervals"))
+            continue
+        index = len(kept)
+        kept.append(trace)
+        blocks.append(np.asarray(trace.rows, dtype=np.float64))
+        label = 1 if trace.is_attack else -1
+        labels.extend([label] * trace.n_intervals)
+        groups.extend([index] * trace.n_intervals)
+    if not kept:
+        raise FeatureError("every trace was skipped during assembly")
+
+    dataset = Dataset(
+        X=np.vstack(blocks),
+        y=np.asarray(labels, dtype=np.int64),
+        groups=np.asarray(groups, dtype=np.int64),
+        traces=kept,
+        skipped=skipped,
+    )
+    log_event(
+        logger,
+        "features.assembled",
+        traces=len(kept),
+        samples=dataset.n_samples,
+        features=dataset.n_features,
+        skipped=len(skipped),
+    )
+    return dataset

@@ -1,0 +1,119 @@
+"""NaN/Inf sanitization + z-score normalization with persisted statistics.
+
+The fitted statistics (per-column median for imputation, mean, std) are
+saved as JSON so a model trained in one process can score traffic in another
+with bit-identical preprocessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FeatureError
+
+STATS_VERSION = 1
+
+#: z-scores are clipped here; salvaged corpora contain the occasional
+#: misaligned decode that would otherwise dominate every dot product
+Z_CLIP = 8.0
+
+
+class Normalizer:
+    """fit() on training data, transform() anywhere, save()/load() between.
+
+    With ``log_scale`` (the default) values pass through a signed ``log1p``
+    before the z-score: hardware counters are heavy-tailed across many orders
+    of magnitude, and interval-length differences between captures become
+    additive shifts the z-score absorbs.
+    """
+
+    def __init__(self, *, log_scale: bool = True):
+        self.log_scale = log_scale
+        self.median: np.ndarray | None = None
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean is not None
+
+    def _prescale(self, X: np.ndarray) -> np.ndarray:
+        if not self.log_scale:
+            return X
+        with np.errstate(invalid="ignore"):
+            return np.sign(X) * np.log1p(np.abs(X))
+
+    def fit(self, X: np.ndarray) -> "Normalizer":
+        X = self._prescale(np.asarray(X, dtype=np.float64))
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise FeatureError(f"cannot fit normalizer on shape {X.shape}")
+        finite = np.isfinite(X)
+        if not finite.any():
+            raise FeatureError("training matrix has no finite values")
+        masked = np.where(finite, X, np.nan)
+        with np.errstate(all="ignore"):
+            self.median = np.nan_to_num(np.nanmedian(masked, axis=0), nan=0.0)
+            imputed = np.where(finite, X, self.median)
+            self.mean = imputed.mean(axis=0)
+            std = imputed.std(axis=0)
+        std[~np.isfinite(std) | (std < 1e-12)] = 1.0
+        self.std = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Impute non-finite cells with the fitted median, z-score, clip."""
+        if not self.fitted:
+            raise FeatureError("normalizer is not fitted")
+        X = self._prescale(np.asarray(X, dtype=np.float64))
+        if X.ndim != 2 or X.shape[1] != self.mean.shape[0]:
+            raise FeatureError(
+                f"matrix shape {X.shape} does not match fitted width {self.mean.shape[0]}"
+            )
+        finite = np.isfinite(X)
+        imputed = np.where(finite, X, self.median)
+        z = (imputed - self.mean) / self.std
+        return np.clip(z, -Z_CLIP, Z_CLIP)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        if not self.fitted:
+            raise FeatureError("cannot persist an unfitted normalizer")
+        return {
+            "version": STATS_VERSION,
+            "n_features": int(self.mean.shape[0]),
+            "log_scale": self.log_scale,
+            "median": self.median.tolist(),
+            "mean": self.mean.tolist(),
+            "std": self.std.tolist(),
+        }
+
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json()) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Normalizer":
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise FeatureError(f"cannot load normalizer stats from {path}: {exc}") from exc
+        if doc.get("version") != STATS_VERSION:
+            raise FeatureError(f"unsupported normalizer stats version {doc.get('version')!r}")
+        norm = cls(log_scale=bool(doc.get("log_scale", False)))
+        try:
+            norm.median = np.asarray(doc["median"], dtype=np.float64)
+            norm.mean = np.asarray(doc["mean"], dtype=np.float64)
+            norm.std = np.asarray(doc["std"], dtype=np.float64)
+        except KeyError as exc:
+            raise FeatureError(f"normalizer stats missing field {exc}") from exc
+        if not (norm.median.shape == norm.mean.shape == norm.std.shape):
+            raise FeatureError("normalizer stats arrays disagree on width")
+        return norm

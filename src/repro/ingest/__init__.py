@@ -1,0 +1,13 @@
+"""Ingestion layer: fault-tolerant corpus loading.
+
+Transient I/O errors are retried with exponential backoff
+(:mod:`repro.ingest.retry`); undecodable files are recorded in a quarantine
+manifest (:mod:`repro.ingest.quarantine`) and skipped -- one bad file never
+aborts a run (:mod:`repro.ingest.loader`).
+"""
+
+from .loader import LoadResult, TraceLoader
+from .quarantine import QuarantineManifest
+from .retry import RetryPolicy, retry_call
+
+__all__ = ["TraceLoader", "LoadResult", "QuarantineManifest", "RetryPolicy", "retry_call"]

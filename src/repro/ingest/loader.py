@@ -1,0 +1,125 @@
+"""The corpus loader: reads trace-cache files with retry, per-file decode
+timeouts, fault injection, and skip-and-continue quarantine semantics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import RetryExhausted, TraceDecodeError
+from ..faults import FaultInjector, FaultPlan
+from ..sim.trace import DecodeReport, Trace, decode_trace
+from ..telemetry import get_logger, log_event
+from .quarantine import QuarantineManifest
+from .retry import RetryPolicy, retry_call
+
+logger = get_logger("repro.ingest")
+
+
+@dataclass
+class LoadResult:
+    path: str
+    trace: Trace
+    report: DecodeReport
+
+
+class TraceLoader:
+    """Walks a trace-cache directory and yields decoded traces.
+
+    Failure policy:
+
+    - ``OSError`` while reading bytes is treated as transient and retried
+      with exponential backoff; exhaustion quarantines the file.
+    - :class:`TraceDecodeError` (any subclass) is permanent: the file is
+      quarantined immediately, never retried.
+    - Anything else is a bug and propagates.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        pattern: str = "*.pkl",
+        retry_policy: RetryPolicy | None = None,
+        decode_timeout_s: float = 10.0,
+        faults: FaultPlan | None = None,
+    ):
+        self.root = Path(root)
+        self.pattern = pattern
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.decode_timeout_s = decode_timeout_s
+        self.injector = FaultInjector(faults) if faults and faults.active else None
+
+    def paths(self) -> list[Path]:
+        return sorted(self.root.glob(self.pattern))
+
+    # -- single file -----------------------------------------------------
+
+    def _read_bytes(self, path: Path) -> bytes:
+        def attempt(n: int) -> bytes:
+            if self.injector is not None:
+                self.injector.maybe_io_error(str(path), n)
+            return path.read_bytes()
+
+        def on_retry(n: int, exc: BaseException, delay: float) -> None:
+            log_event(
+                logger,
+                "ingest.retry",
+                path=path.name,
+                attempt=n,
+                delay=f"{delay:.3f}",
+                error=type(exc).__name__,
+            )
+
+        return retry_call(attempt, self.retry_policy, on_retry=on_retry)
+
+    def load(self, path) -> LoadResult:
+        """Load one file.  Raises ``RetryExhausted`` or ``TraceDecodeError``."""
+        path = Path(path)
+        data = self._read_bytes(path)
+        if self.injector is not None:
+            data = self.injector.corrupt(data, str(path))
+        deadline = time.monotonic() + self.decode_timeout_s
+        trace, report = decode_trace(data, path=str(path), deadline=deadline)
+        return LoadResult(path=str(path), trace=trace, report=report)
+
+    # -- whole corpus ----------------------------------------------------
+
+    def iter_corpus(self, quarantine: QuarantineManifest) -> Iterator[LoadResult]:
+        """Yield a ``LoadResult`` per decodable file; quarantine the rest."""
+        for path in self.paths():
+            try:
+                result = self.load(path)
+            except (TraceDecodeError, RetryExhausted) as exc:
+                entry = quarantine.add(str(path), exc)
+                log_event(
+                    logger,
+                    "ingest.quarantine",
+                    path=path.name,
+                    code=entry.code,
+                    error=entry.error,
+                )
+                continue
+            if result.report.degraded:
+                log_event(
+                    logger,
+                    "ingest.degraded",
+                    path=path.name,
+                    mode=result.report.mode,
+                    notes=";".join(result.report.notes) or "-",
+                )
+            yield result
+
+    def load_corpus(self) -> tuple[list[LoadResult], QuarantineManifest]:
+        quarantine = QuarantineManifest(root=str(self.root))
+        results = list(self.iter_corpus(quarantine))
+        log_event(
+            logger,
+            "ingest.done",
+            root=str(self.root),
+            loaded=len(results),
+            quarantined=len(quarantine),
+        )
+        return results, quarantine

@@ -1,0 +1,93 @@
+"""Quarantine manifest: a machine-readable record of every input the ingest
+layer gave up on, with its typed failure reason from :mod:`repro.errors`."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ReproError
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class QuarantineEntry:
+    path: str
+    code: str
+    error: str
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out = {
+            "path": self.path,
+            "code": self.code,
+            "error": self.error,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+class QuarantineManifest:
+    """Accumulates quarantined files for one ingest run."""
+
+    def __init__(self, root: str = ""):
+        self.root = root
+        self.entries: list[QuarantineEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, path: str, exc: BaseException) -> QuarantineEntry:
+        if isinstance(exc, ReproError):
+            desc = exc.describe()
+            code, error = desc.pop("code"), desc.pop("type")
+            message = desc.pop("message")
+            detail = desc
+        else:  # pragma: no cover - ingest only quarantines typed errors
+            code, error, message, detail = "untyped", type(exc).__name__, str(exc), {}
+        entry = QuarantineEntry(path=str(path), code=code, error=error, message=message, detail=detail)
+        self.entries.append(entry)
+        return entry
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.code] = out.get(entry.code, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "root": self.root,
+            "total": len(self.entries),
+            "counts": self.counts(),
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+
+    def write(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "QuarantineManifest":
+        doc = json.loads(Path(path).read_text())
+        manifest = cls(root=doc.get("root", ""))
+        for raw in doc.get("entries", []):
+            manifest.entries.append(
+                QuarantineEntry(
+                    path=raw["path"],
+                    code=raw["code"],
+                    error=raw["error"],
+                    message=raw["message"],
+                    detail=raw.get("detail", {}),
+                )
+            )
+        return manifest

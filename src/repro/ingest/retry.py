@@ -1,0 +1,71 @@
+"""Bounded retry with exponential backoff for transient failures.
+
+Only exceptions named in the policy's ``retry_on`` tuple are retried --
+anything else (in particular :class:`~repro.errors.TraceDecodeError`, which is
+a permanent per-file condition) propagates immediately.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import RetryExhausted
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: multiplier applied per attempt
+    backoff: float = 2.0
+    #: fraction of the delay drawn uniformly at random and added, to avoid
+    #: thundering herds when many workers retry the same backend
+    jitter: float = 0.25
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+
+    def delay_for(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff delay after failed attempt ``attempt`` (0-based)."""
+        delay = min(self.base_delay * (self.backoff**attempt), self.max_delay)
+        if self.jitter > 0:
+            delay += delay * self.jitter * (rng or random).random()
+        return delay
+
+
+def retry_call(
+    fn: Callable[[int], T],
+    policy: RetryPolicy | None = None,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+    rng: random.Random | None = None,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds or the policy is exhausted.
+
+    ``sleep`` and ``rng`` are injectable for deterministic tests.  Raises
+    :class:`RetryExhausted` (carrying the last error) when every attempt
+    failed with a retryable exception.
+    """
+    policy = policy or RetryPolicy()
+    if policy.attempts < 1:
+        raise ValueError("RetryPolicy.attempts must be >= 1")
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn(attempt)
+        except policy.retry_on as exc:
+            last = exc
+            if attempt + 1 >= policy.attempts:
+                break
+            delay = policy.delay_for(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+    raise RetryExhausted(
+        f"gave up after {policy.attempts} attempts: {last}", policy.attempts, last
+    )

@@ -1,0 +1,5 @@
+"""Model layer: the hashed-weight perceptron detector."""
+
+from .perceptron import HashedPerceptron
+
+__all__ = ["HashedPerceptron"]

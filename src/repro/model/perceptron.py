@@ -1,0 +1,174 @@
+"""Hashed-weight perceptron, after PerSpectron (MICRO 2020).
+
+Each (feature, quantized-value) pair is hashed into one of ``n_tables``
+weight tables; the decision is the sum of the selected weights.  Training is
+the classic threshold rule from perceptron branch predictors: update on a
+misprediction *or* whenever the margin is below ``theta``, and clamp every
+weight to a small signed range so single features cannot saturate the sum.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ModelError
+
+MODEL_VERSION = 1
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX = np.uint64(0xBF58476D1CE4E5B9)
+
+
+class HashedPerceptron:
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        n_tables: int = 16,
+        table_bits: int = 12,
+        n_bins: int = 16,
+        theta: float | None = None,
+        weight_clamp: int = 127,
+        seed: int = 0,
+    ):
+        if n_features < 1:
+            raise ModelError("n_features must be >= 1")
+        self.n_features = int(n_features)
+        self.n_tables = int(n_tables)
+        self.table_bits = int(table_bits)
+        self.table_size = 1 << self.table_bits
+        self.n_bins = int(n_bins)
+        # threshold heuristic: scale with sqrt of the summand count, not the
+        # count itself -- with ~1k features summed per decision, a linear
+        # theta keeps every sample below threshold forever and training
+        # degenerates into label counting
+        self.theta = float(theta) if theta is not None else 1.93 * n_features**0.5 + 14
+        self.weight_clamp = int(weight_clamp)
+        self.seed = int(seed)
+        self.weights = np.zeros((self.n_tables, self.table_size), dtype=np.int32)
+
+        rng = np.random.default_rng(self.seed)
+        self._salts = rng.integers(0, 2**63, size=self.n_features, dtype=np.uint64)
+        self._tables = np.arange(self.n_features, dtype=np.int64) % self.n_tables
+
+    # -- hashing ---------------------------------------------------------
+
+    def _quantize(self, X: np.ndarray) -> np.ndarray:
+        """Map z-scored values into ``n_bins`` integer buckets over [-4, 4]."""
+        scaled = (np.clip(X, -4.0, 4.0) + 4.0) * (self.n_bins / 8.0)
+        return np.minimum(scaled.astype(np.int64), self.n_bins - 1)
+
+    def _indices(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample weight index for every feature: (n_samples, n_features)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ModelError(
+                f"input shape {X.shape} does not match n_features={self.n_features}"
+            )
+        bins = self._quantize(X).astype(np.uint64)
+        with np.errstate(over="ignore"):
+            h = (bins * _GOLDEN + self._salts[None, :]) * _MIX
+        return ((h >> np.uint64(17)).astype(np.int64)) & (self.table_size - 1)
+
+    def _flat_indices(self, X: np.ndarray) -> np.ndarray:
+        return self._indices(X) + self._tables[None, :] * self.table_size
+
+    # -- inference -------------------------------------------------------
+
+    def decision(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin per sample."""
+        flat = self._flat_indices(X)
+        return self.weights.ravel()[flat].sum(axis=1).astype(np.float64)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """+1 attack / -1 benign per sample (0 margin counts as benign)."""
+        return np.where(self.decision(X) > 0, 1, -1).astype(np.int64)
+
+    # -- training --------------------------------------------------------
+
+    def fit_epoch(self, X: np.ndarray, y: np.ndarray, *, shuffle_rng=None) -> int:
+        """One online pass; returns the number of weight updates made."""
+        y = np.asarray(y)
+        if set(np.unique(y)) - {-1, 1}:
+            raise ModelError("labels must be -1 or +1")
+        flat = self._flat_indices(X)
+        w = self.weights.ravel()
+        order = np.arange(len(y))
+        if shuffle_rng is not None:
+            shuffle_rng.shuffle(order)
+        updates = 0
+        for i in order:
+            idx = flat[i]
+            margin = int(w[idx].sum())
+            target = int(y[i])
+            if target * margin <= self.theta:
+                np.add.at(w, idx, target)
+                np.clip(w, -self.weight_clamp, self.weight_clamp, out=w)
+                updates += 1
+        return updates
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, *, epochs: int = 20, seed: int | None = None
+    ) -> list[int]:
+        """Train until an epoch makes no misprediction-driven updates or the
+        epoch budget runs out; returns per-epoch update counts."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        history = []
+        for _ in range(epochs):
+            updates = self.fit_epoch(X, y, shuffle_rng=rng)
+            history.append(updates)
+            if updates == 0:
+                break
+        return history
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            version=MODEL_VERSION,
+            weights=self.weights,
+            salts=self._salts,
+            config=np.array(
+                [
+                    self.n_features,
+                    self.n_tables,
+                    self.table_bits,
+                    self.n_bins,
+                    self.weight_clamp,
+                    self.seed,
+                ],
+                dtype=np.int64,
+            ),
+            theta=np.float64(self.theta),
+        )
+
+    @classmethod
+    def load(cls, path) -> "HashedPerceptron":
+        try:
+            with np.load(path) as doc:
+                if int(doc["version"]) != MODEL_VERSION:
+                    raise ModelError(f"unsupported model version {doc['version']}")
+                n_features, n_tables, table_bits, n_bins, clamp, seed = (
+                    int(v) for v in doc["config"]
+                )
+                model = cls(
+                    n_features,
+                    n_tables=n_tables,
+                    table_bits=table_bits,
+                    n_bins=n_bins,
+                    theta=float(doc["theta"]),
+                    weight_clamp=clamp,
+                    seed=seed,
+                )
+                model.weights = doc["weights"].astype(np.int32)
+                model._salts = doc["salts"].astype(np.uint64)
+        except ModelError:
+            raise
+        except Exception as exc:
+            raise ModelError(f"cannot load model from {path}: {exc}") from exc
+        return model

@@ -1,0 +1,232 @@
+"""End-to-end train/eval pipeline: corpus -> ingest -> features -> perceptron.
+
+``python -m repro.pipeline`` walks the trace cache, quarantines undecodable
+files, trains the hashed perceptron on a per-class stratified trace split,
+and writes ``metrics.json`` / ``quarantine.json`` / model artifacts to the
+run directory.  One bad input never aborts the run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import IngestError
+from ..faults import FaultPlan
+from ..features import Normalizer, build_dataset
+from ..ingest import TraceLoader
+from ..model import HashedPerceptron
+from ..telemetry import get_logger, log_event
+
+logger = get_logger("repro.pipeline")
+
+METRICS_VERSION = 1
+
+
+@dataclass
+class PipelineConfig:
+    trace_dir: str = ".trace_cache"
+    out_dir: str = "runs/latest"
+    test_frac: float = 0.3
+    epochs: int = 20
+    seed: int = 7
+    decode_timeout_s: float = 30.0
+    faults: FaultPlan | None = None
+    n_tables: int = 16
+    table_bits: int = 12
+    n_bins: int = 16
+    theta: float = 50.0
+    #: hash-seed ensemble size; margins are averaged across members
+    n_models: int = 5
+
+
+def _class_key(trace) -> str:
+    if trace.is_attack:
+        return trace.attack_class or trace.program
+    return f"benign:{trace.program}"
+
+
+def split_traces(traces, test_frac: float, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stratified per-class trace split; classes with a single trace stay in
+    train.  Returns (train_idx, test_idx)."""
+    rng = np.random.default_rng(seed)
+    by_class: dict[str, list[int]] = {}
+    for i, trace in enumerate(traces):
+        by_class.setdefault(_class_key(trace), []).append(i)
+    train, test = [], []
+    for indices in by_class.values():
+        indices = list(indices)
+        rng.shuffle(indices)
+        n_test = int(round(test_frac * len(indices))) if len(indices) > 1 else 0
+        n_test = min(n_test, len(indices) - 1)
+        test.extend(indices[:n_test])
+        train.extend(indices[n_test:])
+    return np.array(sorted(train), dtype=np.int64), np.array(sorted(test), dtype=np.int64)
+
+
+def _ensemble_margins(models, X) -> np.ndarray:
+    """Per-sample margin averaged over ensemble members (each normalized by
+    its own mean magnitude so no member dominates)."""
+    total = np.zeros(X.shape[0], dtype=np.float64)
+    for model in models:
+        d = model.decision(X)
+        total += d / (np.abs(d).mean() + 1e-9)
+    return total / len(models)
+
+
+def _trace_verdicts(margins: np.ndarray, groups: np.ndarray, n_traces: int) -> np.ndarray:
+    """Mean per-interval margin per trace -> +1/-1 verdict."""
+    verdicts = np.zeros(n_traces, dtype=np.int64)
+    for t in range(n_traces):
+        mask = groups == t
+        if mask.any():
+            verdicts[t] = 1 if margins[mask].mean() > 0 else -1
+    return verdicts
+
+
+def run_pipeline(config: PipelineConfig) -> dict:
+    """Run train + eval once; returns the metrics document (also written to
+    ``<out_dir>/metrics.json``)."""
+    t_start = time.monotonic()
+    out_dir = Path(config.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # ---- ingest ---------------------------------------------------------
+    loader = TraceLoader(
+        config.trace_dir,
+        decode_timeout_s=config.decode_timeout_s,
+        faults=config.faults,
+    )
+    n_files = len(loader.paths())
+    results, quarantine = loader.load_corpus()
+    quarantine.write(out_dir / "quarantine.json")
+    if not results:
+        raise IngestError(
+            f"no decodable traces under {config.trace_dir} "
+            f"({n_files} files, {len(quarantine)} quarantined)"
+        )
+
+    # ---- features -------------------------------------------------------
+    dataset = build_dataset([r.trace for r in results])
+    train_idx, test_idx = split_traces(dataset.traces, config.test_frac, config.seed)
+    train_mask = np.isin(dataset.groups, train_idx)
+    test_mask = np.isin(dataset.groups, test_idx)
+
+    normalizer = Normalizer().fit(dataset.X[train_mask])
+    normalizer.save(out_dir / "normalizer.json")
+    Xtr = normalizer.transform(dataset.X[train_mask])
+    Xte = normalizer.transform(dataset.X[test_mask])
+    ytr = dataset.y[train_mask]
+    yte = dataset.y[test_mask]
+
+    # ---- model ----------------------------------------------------------
+    models = []
+    histories = []
+    for k in range(max(1, config.n_models)):
+        model = HashedPerceptron(
+            dataset.n_features,
+            n_tables=config.n_tables,
+            table_bits=config.table_bits,
+            n_bins=config.n_bins,
+            theta=config.theta,
+            seed=config.seed * 1000 + k,
+        )
+        histories.append(model.fit(Xtr, ytr, epochs=config.epochs))
+        model.save(out_dir / "models" / f"member_{k}.npz")
+        models.append(model)
+    log_event(
+        logger,
+        "pipeline.trained",
+        members=len(models),
+        epochs=[len(h) for h in histories],
+    )
+
+    # ---- eval -----------------------------------------------------------
+    margins_test = _ensemble_margins(models, Xte)
+    interval_acc = (
+        float((np.where(margins_test > 0, 1, -1) == yte).mean()) if len(yte) else float("nan")
+    )
+    margins_all = _ensemble_margins(models, normalizer.transform(dataset.X))
+    verdicts = _trace_verdicts(margins_all, dataset.groups, len(dataset.traces))
+    truth = dataset.trace_labels()
+
+    test_set = set(test_idx.tolist())
+    per_class: dict[str, dict] = {}
+    n_correct = n_eval = 0
+    benign_total = benign_fp = 0
+    for t in sorted(test_set):
+        trace = dataset.traces[t]
+        key = _class_key(trace)
+        cell = per_class.setdefault(key, {"total": 0, "correct": 0})
+        cell["total"] += 1
+        correct = verdicts[t] == truth[t]
+        cell["correct"] += int(correct)
+        n_eval += 1
+        n_correct += int(correct)
+        if not trace.is_attack:
+            benign_total += 1
+            benign_fp += int(verdicts[t] == 1)
+
+    attack_recall = {
+        key: cell["correct"] / cell["total"]
+        for key, cell in sorted(per_class.items())
+        if not key.startswith("benign:")
+    }
+    metrics = {
+        "version": METRICS_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "elapsed_s": round(time.monotonic() - t_start, 3),
+        "config": {
+            "trace_dir": config.trace_dir,
+            "test_frac": config.test_frac,
+            "epochs": config.epochs,
+            "seed": config.seed,
+            "n_tables": config.n_tables,
+            "table_bits": config.table_bits,
+            "n_bins": config.n_bins,
+            "theta": config.theta,
+            "n_models": config.n_models,
+            "faults": vars(config.faults) if config.faults else None,
+        },
+        "ingest": {
+            "files": n_files,
+            "loaded": len(results),
+            "quarantined": len(quarantine),
+            "quarantine_counts": quarantine.counts(),
+            "degraded": sum(1 for r in results if r.report.degraded),
+        },
+        "dataset": {
+            "traces": len(dataset.traces),
+            "samples": dataset.n_samples,
+            "features": dataset.n_features,
+            "train_traces": len(train_idx),
+            "test_traces": len(test_idx),
+            "skipped_traces": len(dataset.skipped),
+        },
+        "training": {
+            "members": len(models),
+            "epochs_run": [len(h) for h in histories],
+            "updates_per_epoch": histories,
+        },
+        "metrics": {
+            "interval_accuracy": interval_acc,
+            "trace_accuracy": (n_correct / n_eval) if n_eval else float("nan"),
+            "benign_false_positive_rate": (benign_fp / benign_total) if benign_total else 0.0,
+            "attack_recall": attack_recall,
+            "per_class": per_class,
+        },
+    }
+    (out_dir / "metrics.json").write_text(json.dumps(metrics, indent=2) + "\n")
+    log_event(
+        logger,
+        "pipeline.done",
+        trace_accuracy=f"{metrics['metrics']['trace_accuracy']:.4f}",
+        fpr=f"{metrics['metrics']['benign_false_positive_rate']:.4f}",
+        quarantined=len(quarantine),
+        out=str(out_dir),
+    )
+    return metrics

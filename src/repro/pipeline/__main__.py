@@ -1,0 +1,78 @@
+"""CLI entry point: ``python -m repro.pipeline [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import ReproError
+from ..faults import FaultPlan
+from . import PipelineConfig, run_pipeline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Train and evaluate the PerSpectron detector over a trace-cache corpus.",
+    )
+    parser.add_argument("--trace-dir", default=".trace_cache", help="corpus directory")
+    parser.add_argument("--out", default="runs/latest", help="run output directory")
+    parser.add_argument("--test-frac", type=float, default=0.3, help="held-out trace fraction")
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--decode-timeout", type=float, default=30.0, metavar="SECONDS")
+    parser.add_argument("--n-tables", type=int, default=16)
+    parser.add_argument("--table-bits", type=int, default=12)
+    parser.add_argument("--n-bins", type=int, default=16)
+    parser.add_argument("--theta", type=float, default=50.0, help="perceptron training threshold")
+    parser.add_argument("--n-models", type=int, default=5, help="hash-seed ensemble size")
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help='fault injection, e.g. "io=0.2,corrupt=0.25,seed=7" '
+        "(REPRO_FAULTS env var is the fallback)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        faults = FaultPlan.parse(args.faults) if args.faults else FaultPlan.from_env()
+    except ValueError as exc:
+        parser.error(f"bad fault spec: {exc}")
+    config = PipelineConfig(
+        trace_dir=args.trace_dir,
+        out_dir=args.out,
+        test_frac=args.test_frac,
+        epochs=args.epochs,
+        seed=args.seed,
+        decode_timeout_s=args.decode_timeout,
+        faults=faults,
+        n_tables=args.n_tables,
+        table_bits=args.table_bits,
+        n_bins=args.n_bins,
+        theta=args.theta,
+        n_models=args.n_models,
+    )
+    try:
+        metrics = run_pipeline(config)
+    except ReproError as exc:
+        print(f"pipeline failed: [{exc.code}] {exc}", file=sys.stderr)
+        return 2
+    summary = {
+        "out": config.out_dir,
+        "trace_accuracy": metrics["metrics"]["trace_accuracy"],
+        "benign_false_positive_rate": metrics["metrics"]["benign_false_positive_rate"],
+        "loaded": metrics["ingest"]["loaded"],
+        "quarantined": metrics["ingest"]["quarantined"],
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

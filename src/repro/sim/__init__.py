@@ -1,0 +1,13 @@
+"""Trace codec layer: the ``Trace`` record and the versioned ``.trace_cache``
+binary reader/writer, including best-effort salvage of damaged captures."""
+
+from .trace import TRACE_VERSION, DecodeReport, Trace, decode_trace, encode_trace, read_trace
+
+__all__ = [
+    "TRACE_VERSION",
+    "Trace",
+    "DecodeReport",
+    "decode_trace",
+    "encode_trace",
+    "read_trace",
+]

@@ -1,0 +1,171 @@
+"""Best-effort recovery of float64 payloads from lossy byte streams.
+
+The seed trace corpus was captured by a tool that passed every file through
+a UTF-8 decode/encode round trip with ``errors="ignore"``.  Pure-ASCII bytes
+(< 0x80) survived, bytes that happened to form valid UTF-8 sequences
+survived, and every other byte was silently *deleted*.  For the pickled
+float64 matrices this means a small percentage of bytes are simply missing,
+which shifts the alignment of everything that follows.
+
+:func:`salvage_f64` re-aligns such a stream greedily: it decodes 8-byte
+chunks while they look like plausible hardware-counter values, and on the
+first implausible chunk it searches a small window of "bytes dropped here" /
+"frame header inserted here" hypotheses, scoring each by how many of the
+following floats become plausible again.  Unrecoverable values are emitted
+as NaN so the feature layer can impute them; they are never invented.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DecodeTimeout
+
+# Plausibility envelope for gem5-style counter values.  Anything outside is
+# assumed to be a misaligned decode.  Zero is by far the most common value.
+_ABS_MIN = 1e-12
+_ABS_MAX = 1e15
+
+#: candidate resync hypotheses, in preference order:
+#:  +d  -> d bytes were dropped inside the current float (value lost)
+#:  -8  -> an 8-byte pickle frame header was inserted into the stream
+_SHIFTS = (1, 2, 3, 4, 5, 6, 7, -8, 8, 9, 10, 11, 12)
+_LOOKAHEAD = 6
+
+
+@dataclass
+class SalvageReport:
+    """Bookkeeping for one salvaged payload."""
+
+    expected_floats: int = 0
+    recovered_floats: int = 0
+    nan_floats: int = 0
+    resyncs: int = 0
+    bytes_dropped: int = 0
+    truncated: bool = False
+    clean: bool = True
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def nan_fraction(self) -> float:
+        if self.expected_floats == 0:
+            return 0.0
+        return self.nan_floats / self.expected_floats
+
+    def describe(self) -> dict:
+        return {
+            "expected_floats": self.expected_floats,
+            "recovered_floats": self.recovered_floats,
+            "nan_floats": self.nan_floats,
+            "nan_fraction": round(self.nan_fraction, 6),
+            "resyncs": self.resyncs,
+            "bytes_dropped": self.bytes_dropped,
+            "truncated": self.truncated,
+            "clean": self.clean,
+        }
+
+
+def _plausible(values: np.ndarray) -> np.ndarray:
+    a = np.abs(values)
+    return np.isfinite(values) & ((values == 0.0) | ((a >= _ABS_MIN) & (a <= _ABS_MAX)))
+
+
+def _decode_at(buf: bytes, pos: int, count: int) -> np.ndarray:
+    if pos < 0 or pos >= len(buf):
+        return np.empty(0, dtype=np.float64)
+    avail = (len(buf) - pos) // 8
+    n = min(count, max(avail, 0))
+    if n <= 0:
+        return np.empty(0, dtype=np.float64)
+    return np.frombuffer(buf, dtype="<f8", count=n, offset=pos)
+
+
+def _score_alignment(buf: bytes, pos: int) -> int:
+    """How many of the next ``_LOOKAHEAD`` floats at ``pos`` look sane."""
+    chunk = _decode_at(buf, pos, _LOOKAHEAD)
+    if chunk.size == 0:
+        return 0
+    return int(_plausible(chunk).sum())
+
+
+def salvage_f64(
+    buf: bytes,
+    count: int,
+    *,
+    deadline: float | None = None,
+) -> tuple[np.ndarray, SalvageReport]:
+    """Decode up to ``count`` little-endian float64 values from ``buf``.
+
+    Returns the values (exactly ``count`` long, NaN-padded) together with a
+    :class:`SalvageReport`.  Never raises on corrupt input; only
+    :class:`~repro.errors.DecodeTimeout` can escape, when ``deadline`` (a
+    ``time.monotonic()`` timestamp) is exceeded.
+    """
+    report = SalvageReport(expected_floats=count)
+    out = np.full(count, np.nan, dtype=np.float64)
+    pos = 0
+    emitted = 0
+
+    while emitted < count:
+        if deadline is not None and time.monotonic() > deadline:
+            raise DecodeTimeout(
+                f"salvage exceeded deadline after {emitted}/{count} floats"
+            )
+        chunk = _decode_at(buf, pos, count - emitted)
+        if chunk.size == 0:
+            break
+        ok = _plausible(chunk)
+        bad = np.argmin(ok) if not ok.all() else chunk.size
+        if bad > 0:
+            out[emitted : emitted + bad] = chunk[:bad]
+            emitted += bad
+            pos += 8 * bad
+        if ok.all():
+            if emitted >= count:
+                break
+            # plausible prefix consumed the whole buffer
+            pos = len(buf)
+            break
+
+        # chunk[bad] is implausible: the current float is damaged.  Search
+        # resync hypotheses; the damaged float itself is unrecoverable.
+        report.clean = False
+        report.resyncs += 1
+        best_shift, best_score = None, -1
+        base_score = _score_alignment(buf, pos + 8)
+        for shift in _SHIFTS:
+            nxt = pos + 8 - shift if shift > 0 else pos + 8 + (-shift)
+            if nxt > len(buf):
+                continue
+            score = _score_alignment(buf, nxt)
+            if score > best_score:
+                best_shift, best_score = shift, score
+        if best_shift is None or best_score <= base_score:
+            # no hypothesis beats "just a weird value in place": skip one
+            # float, keep alignment.
+            out[emitted] = np.nan
+            report.nan_floats += 1
+            emitted += 1
+            pos += 8
+            continue
+        out[emitted] = np.nan
+        report.nan_floats += 1
+        emitted += 1
+        if best_shift > 0:
+            report.bytes_dropped += best_shift
+            pos += 8 - best_shift
+        else:
+            report.notes.append(f"inserted_bytes@{pos}")
+            pos += 8 + (-best_shift)
+
+    if emitted < count:
+        missing = count - emitted
+        report.nan_floats += missing
+        report.truncated = True
+        report.clean = False
+        report.notes.append(f"short_payload:{missing}_floats_missing")
+    report.recovered_floats = count - report.nan_floats
+    return out, report

@@ -1,0 +1,48 @@
+"""Structured logging shared by every layer.
+
+Events are single-line ``key=value`` records with a fixed ``event`` field so
+they stay grep-able and machine-parseable without pulling in a logging
+framework.  Error-ish events carry the shared error taxonomy ``code`` from
+:mod:`repro.errors` so logs, quarantine manifests, and metrics all speak the
+same vocabulary.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy, configuring the root
+    handler once (stderr, so stdout stays free for machine output)."""
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+        _CONFIGURED = True
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return root.getChild(name)
+
+
+def fmt_event(event: str, **fields: object) -> str:
+    """Render ``event=... k=v ...`` with stable field order and quoting of
+    values containing whitespace."""
+    parts = [f"event={event}"]
+    for key, value in fields.items():
+        text = str(value)
+        if any(ch.isspace() for ch in text):
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields) -> None:
+    logger.log(level, fmt_event(event, **fields))

@@ -1,0 +1,104 @@
+"""Codec contract: round-trip equality, versioned header handling, and a
+typed error for every malformed input."""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from conftest import make_trace
+from repro.errors import BadHeader, TraceDecodeError, TruncatedTrace
+from repro.sim.trace import TRACE_VERSION, decode_trace, encode_trace, read_trace
+
+
+def test_round_trip_equality():
+    trace = make_trace(
+        program="spectre_v1", label=1, attack_class="spectre_v1", interval=50000, seed=3
+    )
+    decoded, report = decode_trace(encode_trace(trace))
+    assert report.mode == "clean"
+    assert not report.degraded
+    assert decoded == trace
+    assert decoded.stat_names == trace.stat_names
+    assert np.array_equal(decoded.rows, trace.rows)
+
+
+def test_round_trip_preserves_nan_rows():
+    trace = make_trace(seed=5)
+    trace.rows[1, 3] = np.nan
+    decoded, _ = decode_trace(encode_trace(trace))
+    assert decoded == trace  # Trace.__eq__ treats NaN==NaN per-cell
+
+
+def test_round_trip_benign_negative_label():
+    trace = make_trace(program="mcf_like", label=-1, attack_class=None)
+    decoded, _ = decode_trace(encode_trace(trace))
+    assert decoded.label == -1
+    assert decoded.attack_class is None
+    assert not decoded.is_attack
+
+
+def test_header_is_version_prefixed():
+    data = encode_trace(make_trace())
+    (version,) = struct.unpack_from("<Q", data)
+    assert version == TRACE_VERSION
+
+
+def test_empty_input_is_typed():
+    with pytest.raises(TraceDecodeError):
+        decode_trace(b"")
+
+
+def test_header_only_is_truncated():
+    data = encode_trace(make_trace())[:8]
+    with pytest.raises((TruncatedTrace, BadHeader)):
+        decode_trace(data)
+
+
+def test_wrong_version_is_bad_header():
+    data = bytearray(encode_trace(make_trace()))
+    struct.pack_into("<Q", data, 0, 999)
+    with pytest.raises(BadHeader):
+        decode_trace(bytes(data))
+
+
+def test_garbage_is_typed():
+    with pytest.raises(TraceDecodeError):
+        decode_trace(b"\x00" * 256)
+
+
+def test_non_trace_pickle_is_schema_mismatch():
+    import pickle
+
+    body = pickle.dumps({"not": "a trace"}, protocol=4)
+    data = struct.pack("<Q", TRACE_VERSION) + body
+    with pytest.raises(TraceDecodeError):
+        decode_trace(data)
+
+
+def test_truncated_body_is_typed():
+    data = encode_trace(make_trace())
+    for cut in (9, 20, len(data) // 2, len(data) - 1):
+        with pytest.raises(TraceDecodeError):
+            decode_trace(data[:cut])
+
+
+def test_read_trace_real_file(real_trace_paths):
+    trace, report = read_trace(real_trace_paths[0], deadline=time.monotonic() + 30)
+    assert trace.n_features > 1000
+    assert trace.n_intervals >= 1
+    assert trace.label in (-1, 1)
+    assert report.mode in ("clean", "salvage")
+
+
+def test_real_corpus_sample_decodes(real_trace_paths):
+    """Every 20th file across the corpus decodes to a plausible Trace."""
+    for path in real_trace_paths[::20]:
+        trace, _ = read_trace(path, deadline=time.monotonic() + 30)
+        assert trace.rows.shape == (trace.n_intervals, trace.n_features)
+        assert trace.interval in (0, 10000, 50000)
+        if trace.is_attack:
+            assert trace.attack_class

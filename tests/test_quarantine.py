@@ -1,0 +1,34 @@
+"""Quarantine manifest: typed reasons, counts, JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import BadHeader, RetryExhausted, TruncatedTrace
+from repro.ingest import QuarantineManifest
+
+
+def test_manifest_records_typed_reasons(tmp_path):
+    manifest = QuarantineManifest(root="/corpus")
+    manifest.add("/corpus/a.pkl", BadHeader("version 999 is not 4"))
+    manifest.add("/corpus/b.pkl", TruncatedTrace("body ends early"))
+    manifest.add("/corpus/c.pkl", RetryExhausted("gave up", 4, OSError("disk")))
+
+    assert len(manifest) == 3
+    assert manifest.counts() == {"bad_header": 1, "truncated": 1, "retry_exhausted": 1}
+
+    entry = manifest.entries[2]
+    assert entry.error == "RetryExhausted"
+    assert entry.detail["attempts"] == 4
+    assert "disk" in entry.detail["last_error"]
+
+    path = tmp_path / "quarantine.json"
+    manifest.write(path)
+    doc = json.loads(path.read_text())
+    assert doc["total"] == 3
+    assert doc["counts"] == manifest.counts()
+    assert all(e["code"] and e["message"] for e in doc["entries"])
+
+    reloaded = QuarantineManifest.load(path)
+    assert reloaded.counts() == manifest.counts()
+    assert [e.path for e in reloaded.entries] == [e.path for e in manifest.entries]

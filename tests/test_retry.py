@@ -1,0 +1,130 @@
+"""Retry/backoff behaviour with an injected flaky reader and a fake clock."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import InjectedIOError, RetryExhausted, TraceDecodeError
+from repro.faults import FaultInjector, FaultPlan
+from repro.ingest import RetryPolicy, retry_call
+
+
+class FlakyReader:
+    """Fails with OSError for the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures: int, payload: bytes = b"ok"):
+        self.failures = failures
+        self.payload = payload
+        self.calls = 0
+
+    def __call__(self, attempt: int) -> bytes:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise InjectedIOError(f"flaky failure #{self.calls}")
+        return self.payload
+
+
+def test_succeeds_after_transient_failures():
+    reader = FlakyReader(failures=2)
+    sleeps: list[float] = []
+    result = retry_call(reader, RetryPolicy(attempts=4, jitter=0.0), sleep=sleeps.append)
+    assert result == b"ok"
+    assert reader.calls == 3
+    assert len(sleeps) == 2  # one backoff per failed attempt
+
+
+def test_exhaustion_raises_typed_error_with_cause():
+    reader = FlakyReader(failures=99)
+    with pytest.raises(RetryExhausted) as err:
+        retry_call(reader, RetryPolicy(attempts=3), sleep=lambda _: None)
+    assert err.value.attempts == 3
+    assert isinstance(err.value.last, InjectedIOError)
+    assert reader.calls == 3
+    desc = err.value.describe()
+    assert desc["code"] == "retry_exhausted"
+    assert "InjectedIOError" in desc["last_error"]
+
+
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(attempts=8, base_delay=0.1, backoff=2.0, max_delay=0.5, jitter=0.0)
+    delays = [policy.delay_for(a) for a in range(6)]
+    assert delays[:3] == [0.1, 0.2, 0.4]
+    assert all(d == 0.5 for d in delays[3:])
+
+
+def test_jitter_stays_within_fraction():
+    policy = RetryPolicy(base_delay=1.0, backoff=1.0, max_delay=1.0, jitter=0.25)
+    rng = random.Random(42)
+    for attempt in range(20):
+        d = policy.delay_for(attempt, rng)
+        assert 1.0 <= d <= 1.25
+
+
+def test_nonretryable_error_propagates_immediately():
+    calls = []
+
+    def decode_fails(attempt: int):
+        calls.append(attempt)
+        raise TraceDecodeError("permanent")
+
+    with pytest.raises(TraceDecodeError):
+        retry_call(decode_fails, RetryPolicy(attempts=5), sleep=lambda _: None)
+    assert calls == [0]  # permanent errors are never retried
+
+
+def test_on_retry_callback_sees_each_failure():
+    seen = []
+    reader = FlakyReader(failures=2)
+    retry_call(
+        reader,
+        RetryPolicy(attempts=4, jitter=0.0),
+        sleep=lambda _: None,
+        on_retry=lambda n, exc, delay: seen.append((n, type(exc).__name__)),
+    )
+    assert seen == [(0, "InjectedIOError"), (1, "InjectedIOError")]
+
+
+# -- fault injector determinism ---------------------------------------------
+
+
+def test_fault_plan_parse():
+    plan = FaultPlan.parse("io=0.2, corrupt=0.25, seed=7, persistent")
+    assert plan == FaultPlan(io_rate=0.2, corrupt_rate=0.25, seed=7, transient=False)
+    assert plan.active
+    assert not FaultPlan().active
+    with pytest.raises(ValueError):
+        FaultPlan.parse("bogus=1")
+
+
+def test_injected_io_errors_are_deterministic_per_attempt():
+    injector = FaultInjector(FaultPlan(io_rate=0.5, seed=3))
+
+    def outcomes():
+        out = []
+        for attempt in range(6):
+            try:
+                injector.maybe_io_error("/corpus/a.pkl", attempt)
+                out.append(True)
+            except InjectedIOError:
+                out.append(False)
+        return out
+
+    first, second = outcomes(), outcomes()
+    assert first == second  # same (seed, path, attempt) -> same decision
+    assert True in first and False in first  # transient mode re-rolls per attempt
+
+
+def test_persistent_io_fault_never_recovers():
+    injector = FaultInjector(FaultPlan(io_rate=1.0, seed=0, transient=False))
+    for attempt in range(4):
+        with pytest.raises(InjectedIOError):
+            injector.maybe_io_error("/corpus/b.pkl", attempt)
+
+
+def test_corruption_is_deterministic_per_path():
+    injector = FaultInjector(FaultPlan(corrupt_rate=1.0, seed=11))
+    data = bytes(range(256)) * 8
+    assert injector.corrupt(data, "x.pkl") == injector.corrupt(data, "x.pkl")
+    assert injector.corrupt(data, "x.pkl") != data
