@@ -7,7 +7,15 @@ aborts a run (:mod:`repro.ingest.loader`).
 """
 
 from .loader import LoadResult, TraceLoader
+from .pool import load_corpus_pooled
 from .quarantine import QuarantineManifest
 from .retry import RetryPolicy, retry_call
 
-__all__ = ["TraceLoader", "LoadResult", "QuarantineManifest", "RetryPolicy", "retry_call"]
+__all__ = [
+    "TraceLoader",
+    "LoadResult",
+    "QuarantineManifest",
+    "RetryPolicy",
+    "retry_call",
+    "load_corpus_pooled",
+]

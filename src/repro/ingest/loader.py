@@ -1,12 +1,13 @@
 """The corpus loader: reads trace-cache files with retry, per-file decode
-timeouts, fault injection, and skip-and-continue quarantine semantics."""
+timeouts, fault injection, optional content-addressed caching, and
+skip-and-continue quarantine semantics."""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..errors import RetryExhausted, TraceDecodeError
 from ..faults import FaultInjector, FaultPlan
@@ -14,6 +15,9 @@ from ..sim.trace import DecodeReport, Trace, decode_trace
 from ..telemetry import get_logger, log_event
 from .quarantine import QuarantineManifest
 from .retry import RetryPolicy, retry_call
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..cache import FeatureCache
 
 logger = get_logger("repro.ingest")
 
@@ -23,6 +27,8 @@ class LoadResult:
     path: str
     trace: Trace
     report: DecodeReport
+    #: True when the decode was served by the feature cache
+    from_cache: bool = False
 
 
 class TraceLoader:
@@ -35,6 +41,11 @@ class TraceLoader:
     - :class:`TraceDecodeError` (any subclass) is permanent: the file is
       quarantined immediately, never retried.
     - Anything else is a bug and propagates.
+
+    When a :class:`~repro.cache.FeatureCache` is attached, the loader keys it
+    on the exact bytes it is about to decode (after fault injection), so a
+    warm cache replays decodes without ever invoking the salvage parser while
+    injected corruption still keys to its own (corrupt) content address.
     """
 
     def __init__(
@@ -45,12 +56,14 @@ class TraceLoader:
         retry_policy: RetryPolicy | None = None,
         decode_timeout_s: float = 10.0,
         faults: FaultPlan | None = None,
+        cache: "FeatureCache | None" = None,
     ):
         self.root = Path(root)
         self.pattern = pattern
         self.retry_policy = retry_policy or RetryPolicy()
         self.decode_timeout_s = decode_timeout_s
         self.injector = FaultInjector(faults) if faults and faults.active else None
+        self.cache = cache
 
     def paths(self) -> list[Path]:
         return sorted(self.root.glob(self.pattern))
@@ -81,8 +94,17 @@ class TraceLoader:
         data = self._read_bytes(path)
         if self.injector is not None:
             data = self.injector.corrupt(data, str(path))
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(data)
+            cached = self.cache.get(key, path=str(path))
+            if cached is not None:
+                trace, report = cached
+                return LoadResult(path=str(path), trace=trace, report=report, from_cache=True)
         deadline = time.monotonic() + self.decode_timeout_s
         trace, report = decode_trace(data, path=str(path), deadline=deadline)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, trace, report)
         return LoadResult(path=str(path), trace=trace, report=report)
 
     # -- whole corpus ----------------------------------------------------

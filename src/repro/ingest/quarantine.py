@@ -45,13 +45,21 @@ class QuarantineManifest:
 
     def add(self, path: str, exc: BaseException) -> QuarantineEntry:
         if isinstance(exc, ReproError):
-            desc = exc.describe()
-            code, error = desc.pop("code"), desc.pop("type")
-            message = desc.pop("message")
-            detail = desc
-        else:  # pragma: no cover - ingest only quarantines typed errors
-            code, error, message, detail = "untyped", type(exc).__name__, str(exc), {}
-        entry = QuarantineEntry(path=str(path), code=code, error=error, message=message, detail=detail)
+            return self.add_described(path, exc.describe())
+        # pragma-style fallback: ingest only quarantines typed errors
+        return self.add_described(
+            path, {"code": "untyped", "type": type(exc).__name__, "message": str(exc)}
+        )
+
+    def add_described(self, path: str, desc: dict) -> QuarantineEntry:
+        """Record a failure from its :meth:`ReproError.describe` dict.  This
+        is the wire format worker processes ship back to the parent, so a
+        pooled run writes the same manifest a serial run would."""
+        desc = dict(desc)
+        code = str(desc.pop("code", "untyped"))
+        error = str(desc.pop("type", "Exception"))
+        message = str(desc.pop("message", ""))
+        entry = QuarantineEntry(path=str(path), code=code, error=error, message=message, detail=desc)
         self.entries.append(entry)
         return entry
 

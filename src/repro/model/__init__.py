@@ -1,5 +1,5 @@
 """Model layer: the hashed-weight perceptron detector."""
 
-from .perceptron import HashedPerceptron
+from .perceptron import HashedPerceptron, ensemble_margins, trace_verdicts
 
-__all__ = ["HashedPerceptron"]
+__all__ = ["HashedPerceptron", "ensemble_margins", "trace_verdicts"]

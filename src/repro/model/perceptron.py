@@ -17,6 +17,10 @@ from ..errors import ModelError
 
 MODEL_VERSION = 1
 
+#: rows scored per chunk in the batched decision path; bounds the transient
+#: (batch, n_features) int64 index matrix to ~75 MB at 1159 features
+DEFAULT_BATCH_SIZE = 8192
+
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX = np.uint64(0xBF58476D1CE4E5B9)
 
@@ -77,14 +81,34 @@ class HashedPerceptron:
 
     # -- inference -------------------------------------------------------
 
-    def decision(self, X: np.ndarray) -> np.ndarray:
-        """Signed margin per sample."""
-        flat = self._flat_indices(X)
-        return self.weights.ravel()[flat].sum(axis=1).astype(np.float64)
+    def decision(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
+        """Signed margin per sample.
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+        Scoring materializes a ``(n_samples, n_features)`` int64 index matrix,
+        so large matrices are processed in ``batch_size`` chunks (default
+        :data:`DEFAULT_BATCH_SIZE`).  Per-row sums are independent, so
+        chunking is bit-identical to one shot.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ModelError(
+                f"input shape {X.shape} does not match n_features={self.n_features}"
+            )
+        batch = batch_size if batch_size and batch_size > 0 else DEFAULT_BATCH_SIZE
+        n = X.shape[0]
+        if n <= batch:
+            flat = self._flat_indices(X)
+            return self.weights.ravel()[flat].sum(axis=1).astype(np.float64)
+        out = np.empty(n, dtype=np.float64)
+        w = self.weights.ravel()
+        for start in range(0, n, batch):
+            flat = self._flat_indices(X[start : start + batch])
+            out[start : start + batch] = w[flat].sum(axis=1)
+        return out
+
+    def predict(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
         """+1 attack / -1 benign per sample (0 margin counts as benign)."""
-        return np.where(self.decision(X) > 0, 1, -1).astype(np.int64)
+        return np.where(self.decision(X, batch_size=batch_size) > 0, 1, -1).astype(np.int64)
 
     # -- training --------------------------------------------------------
 
@@ -172,3 +196,42 @@ class HashedPerceptron:
         except Exception as exc:
             raise ModelError(f"cannot load model from {path}: {exc}") from exc
         return model
+
+
+# ---------------------------------------------------------------------------
+# batched scoring over ensembles and trace groups
+# ---------------------------------------------------------------------------
+
+
+def ensemble_margins(
+    models, X: np.ndarray, *, batch_size: int | None = None
+) -> np.ndarray:
+    """Per-sample margin averaged over ensemble members, each normalized by
+    its own mean magnitude so no member dominates."""
+    if not models:
+        raise ModelError("ensemble is empty")
+    total = np.zeros(np.asarray(X).shape[0], dtype=np.float64)
+    for model in models:
+        d = model.decision(X, batch_size=batch_size)
+        total += d / (np.abs(d).mean() + 1e-9)
+    return total / len(models)
+
+
+def trace_verdicts(margins: np.ndarray, groups: np.ndarray, n_traces: int) -> np.ndarray:
+    """Mean per-interval margin per trace -> +1/-1 verdict (0 for traces with
+    no samples).  One ``bincount`` pass instead of a per-trace mask loop."""
+    margins = np.asarray(margins, dtype=np.float64)
+    groups = np.asarray(groups, dtype=np.int64)
+    if margins.shape != groups.shape:
+        raise ModelError(
+            f"margins shape {margins.shape} does not match groups shape {groups.shape}"
+        )
+    if groups.size and (groups.min() < 0 or groups.max() >= n_traces):
+        raise ModelError("groups index outside [0, n_traces)")
+    sums = np.bincount(groups, weights=margins, minlength=n_traces)
+    counts = np.bincount(groups, minlength=n_traces)
+    verdicts = np.zeros(n_traces, dtype=np.int64)
+    seen = counts > 0
+    with np.errstate(invalid="ignore"):
+        verdicts[seen] = np.where(sums[seen] / counts[seen] > 0, 1, -1)
+    return verdicts

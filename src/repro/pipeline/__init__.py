@@ -1,9 +1,15 @@
 """End-to-end train/eval pipeline: corpus -> ingest -> features -> perceptron.
 
-``python -m repro.pipeline`` walks the trace cache, quarantines undecodable
-files, trains the hashed perceptron on a per-class stratified trace split,
-and writes ``metrics.json`` / ``quarantine.json`` / model artifacts to the
-run directory.  One bad input never aborts the run.
+``python -m repro.pipeline`` walks the trace cache (serially or through the
+:mod:`repro.ingest.pool` worker pool), quarantines undecodable files, trains
+the hashed perceptron on a per-class stratified trace split, and writes
+``metrics.json`` / ``quarantine.json`` / model artifacts to the run
+directory.  One bad input never aborts the run.
+
+With ``cache_dir`` set, decodes are memoized in a
+:class:`~repro.cache.FeatureCache`, so warm runs skip the salvage decoder.
+Worker count and cache state never change *what* is computed — only how
+fast — which the fault-matrix regression tests pin down.
 """
 
 from __future__ import annotations
@@ -18,13 +24,14 @@ import numpy as np
 from ..errors import IngestError
 from ..faults import FaultPlan
 from ..features import Normalizer, build_dataset
-from ..ingest import TraceLoader
-from ..model import HashedPerceptron
+from ..ingest import load_corpus_pooled
+from ..ingest.retry import RetryPolicy
+from ..model import HashedPerceptron, ensemble_margins, trace_verdicts
 from ..telemetry import get_logger, log_event
 
 logger = get_logger("repro.pipeline")
 
-METRICS_VERSION = 1
+METRICS_VERSION = 2
 
 
 @dataclass
@@ -42,6 +49,14 @@ class PipelineConfig:
     theta: float = 50.0
     #: hash-seed ensemble size; margins are averaged across members
     n_models: int = 5
+    #: ingest worker processes; <= 1 decodes serially in-process
+    workers: int = 1
+    #: content-addressed decode cache directory; None disables caching
+    cache_dir: str | None = None
+    #: retry policy for transient read failures (None = defaults)
+    retry_policy: RetryPolicy | None = None
+    #: rows per scoring chunk; None = model default
+    batch_size: int | None = None
 
 
 def _class_key(trace) -> str:
@@ -68,26 +83,6 @@ def split_traces(traces, test_frac: float, seed: int) -> tuple[np.ndarray, np.nd
     return np.array(sorted(train), dtype=np.int64), np.array(sorted(test), dtype=np.int64)
 
 
-def _ensemble_margins(models, X) -> np.ndarray:
-    """Per-sample margin averaged over ensemble members (each normalized by
-    its own mean magnitude so no member dominates)."""
-    total = np.zeros(X.shape[0], dtype=np.float64)
-    for model in models:
-        d = model.decision(X)
-        total += d / (np.abs(d).mean() + 1e-9)
-    return total / len(models)
-
-
-def _trace_verdicts(margins: np.ndarray, groups: np.ndarray, n_traces: int) -> np.ndarray:
-    """Mean per-interval margin per trace -> +1/-1 verdict."""
-    verdicts = np.zeros(n_traces, dtype=np.int64)
-    for t in range(n_traces):
-        mask = groups == t
-        if mask.any():
-            verdicts[t] = 1 if margins[mask].mean() > 0 else -1
-    return verdicts
-
-
 def run_pipeline(config: PipelineConfig) -> dict:
     """Run train + eval once; returns the metrics document (also written to
     ``<out_dir>/metrics.json``)."""
@@ -96,14 +91,17 @@ def run_pipeline(config: PipelineConfig) -> dict:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     # ---- ingest ---------------------------------------------------------
-    loader = TraceLoader(
+    n_files = len(sorted(Path(config.trace_dir).glob("*.pkl")))
+    results, quarantine = load_corpus_pooled(
         config.trace_dir,
+        workers=config.workers,
+        retry_policy=config.retry_policy,
         decode_timeout_s=config.decode_timeout_s,
         faults=config.faults,
+        cache_root=config.cache_dir,
     )
-    n_files = len(loader.paths())
-    results, quarantine = loader.load_corpus()
     quarantine.write(out_dir / "quarantine.json")
+    t_ingest = time.monotonic()
     if not results:
         raise IngestError(
             f"no decodable traces under {config.trace_dir} "
@@ -122,6 +120,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
     Xte = normalizer.transform(dataset.X[test_mask])
     ytr = dataset.y[train_mask]
     yte = dataset.y[test_mask]
+    t_features = time.monotonic()
 
     # ---- model ----------------------------------------------------------
     models = []
@@ -144,14 +143,17 @@ def run_pipeline(config: PipelineConfig) -> dict:
         members=len(models),
         epochs=[len(h) for h in histories],
     )
+    t_train = time.monotonic()
 
     # ---- eval -----------------------------------------------------------
-    margins_test = _ensemble_margins(models, Xte)
+    margins_test = ensemble_margins(models, Xte, batch_size=config.batch_size)
     interval_acc = (
         float((np.where(margins_test > 0, 1, -1) == yte).mean()) if len(yte) else float("nan")
     )
-    margins_all = _ensemble_margins(models, normalizer.transform(dataset.X))
-    verdicts = _trace_verdicts(margins_all, dataset.groups, len(dataset.traces))
+    margins_all = ensemble_margins(
+        models, normalizer.transform(dataset.X), batch_size=config.batch_size
+    )
+    verdicts = trace_verdicts(margins_all, dataset.groups, len(dataset.traces))
     truth = dataset.trace_labels()
 
     test_set = set(test_idx.tolist())
@@ -170,16 +172,33 @@ def run_pipeline(config: PipelineConfig) -> dict:
         if not trace.is_attack:
             benign_total += 1
             benign_fp += int(verdicts[t] == 1)
+    t_eval = time.monotonic()
 
     attack_recall = {
         key: cell["correct"] / cell["total"]
         for key, cell in sorted(per_class.items())
         if not key.startswith("benign:")
     }
+    ingest_doc = {
+        "files": n_files,
+        "loaded": len(results),
+        "quarantined": len(quarantine),
+        "quarantine_counts": quarantine.counts(),
+        "degraded": sum(1 for r in results if r.report.degraded),
+    }
+    if config.cache_dir is not None:
+        hits = sum(1 for r in results if r.from_cache)
+        ingest_doc["cache"] = {"hits": hits, "misses": len(results) - hits}
     metrics = {
         "version": METRICS_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "elapsed_s": round(time.monotonic() - t_start, 3),
+        "timings": {
+            "ingest_s": round(t_ingest - t_start, 3),
+            "featurize_s": round(t_features - t_ingest, 3),
+            "train_s": round(t_train - t_features, 3),
+            "eval_s": round(t_eval - t_train, 3),
+        },
         "config": {
             "trace_dir": config.trace_dir,
             "test_frac": config.test_frac,
@@ -192,13 +211,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
             "n_models": config.n_models,
             "faults": vars(config.faults) if config.faults else None,
         },
-        "ingest": {
-            "files": n_files,
-            "loaded": len(results),
-            "quarantined": len(quarantine),
-            "quarantine_counts": quarantine.counts(),
-            "degraded": sum(1 for r in results if r.report.degraded),
-        },
+        "ingest": ingest_doc,
         "dataset": {
             "traces": len(dataset.traces),
             "samples": dataset.n_samples,

@@ -28,6 +28,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--theta", type=float, default=50.0, help="perceptron training threshold")
     parser.add_argument("--n-models", type=int, default=5, help="hash-seed ensemble size")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="ingest worker processes (1 = serial in-process decode)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed decode cache; warm runs skip the salvage decoder",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="rows per scoring chunk (default: model's built-in batch size)",
+    )
+    parser.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -57,6 +76,9 @@ def main(argv: list[str] | None = None) -> int:
         n_bins=args.n_bins,
         theta=args.theta,
         n_models=args.n_models,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        batch_size=args.batch_size,
     )
     try:
         metrics = run_pipeline(config)

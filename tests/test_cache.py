@@ -1,0 +1,143 @@
+"""Unit tests for the content-addressed feature cache: round-trip fidelity,
+corruption-safe reads, atomic writes, and graceful degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import make_trace
+from repro.cache import FeatureCache
+from repro.sim.salvage import SalvageReport
+from repro.sim.trace import DecodeReport, decode_trace, encode_trace
+
+
+def _decoded(trace):
+    data = encode_trace(trace)
+    return data, *decode_trace(data, path="unit.pkl")
+
+
+def test_miss_then_hit_round_trip(tmp_path):
+    cache = FeatureCache(tmp_path / "cache")
+    trace = make_trace(seed=3)
+    payload, decoded, report = _decoded(trace)
+    key = cache.key(payload)
+
+    assert cache.get(key) is None
+    assert cache.stats.misses == 1
+
+    assert cache.put(key, decoded, report)
+    got = cache.get(key, path="unit.pkl")
+    assert got is not None
+    cached_trace, cached_report = got
+    assert cached_trace == decoded
+    assert cached_report.mode == report.mode
+    assert cached_report.notes == report.notes
+    assert cached_report.degraded == report.degraded
+    assert cache.stats.hits == 1 and cache.stats.stores == 1
+    assert len(cache) == 1
+
+
+def test_salvage_report_survives_round_trip(tmp_path):
+    cache = FeatureCache(tmp_path)
+    trace = make_trace(seed=5)
+    payload = encode_trace(trace)
+    report = DecodeReport(path="damaged.pkl", mode="salvage", notes=["mangled_header"])
+    report.salvage = SalvageReport(
+        expected_floats=48,
+        recovered_floats=40,
+        nan_floats=8,
+        resyncs=2,
+        bytes_dropped=11,
+        truncated=False,
+        clean=False,
+    )
+    key = cache.key(payload)
+    assert cache.put(key, trace, report)
+    _, cached_report = cache.get(key, path="damaged.pkl")
+    assert cached_report.mode == "salvage"
+    assert cached_report.degraded
+    assert cached_report.salvage is not None
+    assert cached_report.salvage.describe() == report.salvage.describe()
+
+
+def test_key_is_content_addressed(tmp_path):
+    cache = FeatureCache(tmp_path)
+    a = encode_trace(make_trace(seed=1))
+    b = encode_trace(make_trace(seed=2))
+    assert cache.key(a) == cache.key(a)
+    assert cache.key(a) != cache.key(b)
+    # a single flipped bit keys to a different entry
+    mutated = bytearray(a)
+    mutated[len(mutated) // 2] ^= 0x01
+    assert cache.key(bytes(mutated)) != cache.key(a)
+
+
+def test_corrupt_entry_is_invalidated_and_deleted(tmp_path):
+    cache = FeatureCache(tmp_path)
+    trace = make_trace(seed=7)
+    payload, decoded, report = _decoded(trace)
+    key = cache.key(payload)
+    cache.put(key, decoded, report)
+    entry = cache.entry_path(key)
+
+    blob = bytearray(entry.read_bytes())
+    blob[-8] ^= 0xFF  # damage the codec body: CRC check must reject it
+    entry.write_bytes(bytes(blob))
+
+    assert cache.get(key) is None
+    assert cache.stats.invalidated == 1
+    assert not entry.exists()
+    # next decode can repopulate the same key
+    assert cache.put(key, decoded, report)
+    assert cache.get(key) is not None
+
+
+def test_truncated_and_garbage_entries_are_misses(tmp_path):
+    cache = FeatureCache(tmp_path)
+    trace = make_trace(seed=9)
+    payload, decoded, report = _decoded(trace)
+    key = cache.key(payload)
+    cache.put(key, decoded, report)
+    entry = cache.entry_path(key)
+
+    full = entry.read_bytes()
+    for bad in (b"", b"RFC1", full[: len(full) // 2], b"\x00" * 64):
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(bad)
+        assert cache.get(key) is None, f"accepted corrupt entry {bad[:8]!r}"
+        assert not entry.exists()
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    cache = FeatureCache(tmp_path / "c")
+    for seed in range(5):
+        trace = make_trace(seed=seed)
+        payload, decoded, report = _decoded(trace)
+        cache.put(cache.key(payload), decoded, report)
+    leftovers = [p for p in (tmp_path / "c").rglob("*") if p.name.endswith(".tmp")]
+    assert leftovers == []
+    assert len(cache) == 5
+
+
+def test_unwritable_root_degrades_to_cache_off(tmp_path):
+    blocker = tmp_path / "not_a_dir"
+    blocker.write_text("occupied")
+    cache = FeatureCache(blocker / "cache")  # parent is a file: mkdir fails
+    trace = make_trace(seed=11)
+    payload, decoded, report = _decoded(trace)
+    key = cache.key(payload)
+    assert cache.put(key, decoded, report) is False
+    assert cache.stats.errors >= 1
+    assert cache.get(key) is None  # still just a miss, never a raise
+
+
+def test_nan_rows_survive_caching(tmp_path):
+    cache = FeatureCache(tmp_path)
+    trace = make_trace(seed=13)
+    trace.rows[1, 2] = np.nan
+    trace.rows[0, 0] = np.inf
+    payload, decoded, report = _decoded(trace)
+    key = cache.key(payload)
+    cache.put(key, decoded, report)
+    cached_trace, _ = cache.get(key)
+    assert np.array_equal(cached_trace.rows, decoded.rows, equal_nan=True)

@@ -1,0 +1,78 @@
+"""Seeded fault-matrix regression: across a {0%, 25%, 50%} x {io, corruption}
+fault grid, ``--workers 4`` must produce the same ``metrics.json`` and
+quarantine manifest as ``--workers 1`` -- parallelism changes wall-clock,
+never semantics.  Only run timestamps and timings may differ."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import IngestError
+from repro.faults import FaultPlan
+from repro.ingest import RetryPolicy
+from repro.pipeline import PipelineConfig, run_pipeline
+
+GOLDEN = Path(__file__).resolve().parent / "fixtures" / "golden"
+
+FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.002, jitter=0.0)
+
+#: volatile metrics.json fields: wall-clock, never semantics
+_VOLATILE = ("created", "elapsed_s", "timings")
+
+GRID = [
+    pytest.param(None, id="clean"),
+    pytest.param(FaultPlan(io_rate=0.25, seed=11), id="io-25"),
+    pytest.param(FaultPlan(io_rate=0.50, seed=11), id="io-50"),
+    pytest.param(FaultPlan(corrupt_rate=0.25, seed=11), id="corrupt-25"),
+    pytest.param(FaultPlan(corrupt_rate=0.50, seed=11), id="corrupt-50"),
+]
+
+
+def _run(out_dir: Path, workers: int, faults: FaultPlan | None):
+    config = PipelineConfig(
+        trace_dir=str(GOLDEN),
+        out_dir=str(out_dir),
+        epochs=4,
+        seed=7,
+        n_models=1,
+        theta=5.0,
+        workers=workers,
+        retry_policy=FAST_RETRY,
+        faults=faults,
+    )
+    try:
+        run_pipeline(config)
+    except IngestError:
+        # a grid cell may quarantine the whole corpus; both worker counts
+        # must then fail identically, with identical manifests
+        pass
+    metrics = None
+    if (out_dir / "metrics.json").exists():
+        metrics = json.loads((out_dir / "metrics.json").read_text())
+        for key in _VOLATILE:
+            metrics.pop(key, None)
+    quarantine = json.loads((out_dir / "quarantine.json").read_text())
+    quarantine.pop("created", None)
+    return metrics, quarantine
+
+
+@pytest.mark.parametrize("faults", GRID)
+def test_worker_count_is_semantics_free(tmp_path, faults):
+    serial_metrics, serial_quarantine = _run(tmp_path / "w1", workers=1, faults=faults)
+    pooled_metrics, pooled_quarantine = _run(tmp_path / "w4", workers=4, faults=faults)
+    assert pooled_quarantine == serial_quarantine
+    assert pooled_metrics == serial_metrics
+
+
+def test_faults_actually_fire_on_grid():
+    """Sanity: the 50% cells must inject something, or the matrix is vacuous."""
+    plan = FaultPlan(io_rate=0.50, corrupt_rate=0.50, seed=11)
+    from repro.faults import FaultInjector
+
+    injector = FaultInjector(plan)
+    paths = [str(p) for p in sorted(GOLDEN.glob("*.pkl"))]
+    corrupted = sum(injector.will_corrupt(p) for p in paths)
+    assert corrupted > 0

@@ -1,0 +1,85 @@
+"""The worker pool must be a pure wall-clock optimization: pooled runs
+produce the same results, in the same order, with the same quarantine
+manifest as the serial loader -- fault injection and caching included."""
+
+from __future__ import annotations
+
+from conftest import write_synthetic_corpus
+from repro.cache import FeatureCache
+from repro.faults import FaultPlan
+from repro.ingest import RetryPolicy, load_corpus_pooled
+
+#: keep injected-I/O retries fast; backoff delays are irrelevant to semantics
+FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.002, jitter=0.0)
+
+
+def _summarize(results, quarantine):
+    loaded = [(r.path, r.trace.program, r.trace.label, r.report.mode, tuple(r.report.notes)) for r in results]
+    quarantined = [(e.path, e.code, e.error) for e in quarantine.entries]
+    return loaded, quarantined
+
+
+def test_pooled_matches_serial_clean(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=5, n_attack=5)
+    serial = load_corpus_pooled(corpus, workers=1)
+    pooled = load_corpus_pooled(corpus, workers=4)
+    assert _summarize(*serial) == _summarize(*pooled)
+    for a, b in zip(serial[0], pooled[0]):
+        assert a.trace == b.trace
+
+
+def test_pooled_matches_serial_under_faults(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=6, n_attack=6)
+    faults = FaultPlan(io_rate=0.4, corrupt_rate=0.4, seed=3)
+    serial = load_corpus_pooled(corpus, workers=1, faults=faults, retry_policy=FAST_RETRY)
+    pooled = load_corpus_pooled(corpus, workers=4, faults=faults, retry_policy=FAST_RETRY)
+    assert _summarize(*serial) == _summarize(*pooled)
+    # the grid is only interesting if the faults actually bit something
+    assert len(serial[1]) > 0 or any(r.report.degraded for r in serial[0])
+
+
+def test_worker_count_does_not_change_fault_decisions(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=4, n_attack=4)
+    faults = FaultPlan(io_rate=0.5, corrupt_rate=0.3, seed=9, transient=False)
+    outcomes = []
+    for workers in (1, 2, 4, 8):
+        results, quarantine = load_corpus_pooled(
+            corpus, workers=workers, faults=faults, retry_policy=FAST_RETRY
+        )
+        outcomes.append(_summarize(results, quarantine))
+    assert all(o == outcomes[0] for o in outcomes[1:])
+
+
+def test_pool_shares_cache_across_workers(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=4, n_attack=4)
+    cache_root = tmp_path / "cache"
+    cold, _ = load_corpus_pooled(corpus, workers=4, cache_root=cache_root)
+    assert not any(r.from_cache for r in cold)
+    assert len(FeatureCache(cache_root)) == 8
+    warm, _ = load_corpus_pooled(corpus, workers=4, cache_root=cache_root)
+    assert all(r.from_cache for r in warm)
+    for a, b in zip(cold, warm):
+        assert a.trace == b.trace
+        assert a.report.mode == b.report.mode and a.report.notes == b.report.notes
+
+
+def test_warm_cache_serial_equals_pooled(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=3, n_attack=3)
+    cache_root = tmp_path / "cache"
+    load_corpus_pooled(corpus, workers=1, cache_root=cache_root)
+    warm_serial = load_corpus_pooled(corpus, workers=1, cache_root=cache_root)
+    warm_pooled = load_corpus_pooled(corpus, workers=3, cache_root=cache_root)
+    assert _summarize(*warm_serial) == _summarize(*warm_pooled)
+    assert all(r.from_cache for r in warm_pooled[0])
+
+
+def test_empty_corpus(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    results, quarantine = load_corpus_pooled(empty, workers=4)
+    assert results == [] and len(quarantine) == 0

@@ -1,0 +1,73 @@
+"""Telemetry configuration must be idempotent -- including across the
+re-import scenario pytest can trigger -- and resettable for tests."""
+
+from __future__ import annotations
+
+import logging
+
+from repro import telemetry
+
+
+def _tagged_handlers() -> list[logging.Handler]:
+    root = logging.getLogger("repro")
+    return [h for h in root.handlers if getattr(h, telemetry._HANDLER_TAG, False)]
+
+
+def teardown_module() -> None:
+    # leave the process configured the way every other test expects
+    telemetry.reset_logging()
+    telemetry.get_logger("repro")
+
+
+def test_get_logger_configures_exactly_once():
+    telemetry.reset_logging()
+    for name in ("repro.a", "repro.b", "other", "repro.a"):
+        telemetry.get_logger(name)
+    assert len(_tagged_handlers()) == 1
+
+
+def test_reimport_with_stale_global_does_not_double_configure():
+    """A re-imported module copy starts with ``_CONFIGURED = False`` while the
+    process-wide logging tree is already configured; configuration must detect
+    the installed handler instead of trusting the module global."""
+    telemetry.reset_logging()
+    telemetry.get_logger("repro.first")
+    assert len(_tagged_handlers()) == 1
+    telemetry._CONFIGURED = False  # simulate the fresh module copy
+    telemetry.get_logger("repro.second")
+    assert len(_tagged_handlers()) == 1
+
+
+def test_reset_logging_removes_handler_and_allows_reconfigure():
+    telemetry.get_logger("repro.x")
+    telemetry.reset_logging()
+    assert _tagged_handlers() == []
+    assert telemetry._CONFIGURED is False
+    telemetry.get_logger("repro.x")
+    assert len(_tagged_handlers()) == 1
+
+
+def test_reset_logging_is_idempotent():
+    telemetry.reset_logging()
+    telemetry.reset_logging()
+    assert _tagged_handlers() == []
+
+
+def test_logger_names_join_the_repro_hierarchy():
+    telemetry.reset_logging()
+    assert telemetry.get_logger("repro.ingest").name == "repro.ingest"
+    assert telemetry.get_logger("ingest").name == "repro.ingest"
+
+
+def test_handler_is_not_duplicated_in_captured_output(capsys):
+    telemetry.reset_logging()
+    logger = telemetry.get_logger("repro.dup_check")
+    telemetry.get_logger("repro.dup_check")  # second configure attempt
+    logger.info(telemetry.fmt_event("dup.check", n=1))
+    err = capsys.readouterr().err
+    assert err.count("event=dup.check") == 1
+
+
+def test_fmt_event_field_order_and_quoting():
+    line = telemetry.fmt_event("x.y", b=2, a="has space")
+    assert line == "event=x.y b=2 a='has space'"

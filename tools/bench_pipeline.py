@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Benchmark the pipeline: cold serial vs warm cache vs parallel ingest.
+
+Runs ``repro.pipeline`` four times over the same corpus —
+
+1. ``cold_serial``    fresh cache, ``--workers 1`` (populates cache A)
+2. ``warm_serial``    cache A again: every decode is a cache hit
+3. ``cold_parallel``  fresh cache, ``--workers N`` (populates cache B)
+4. ``warm_parallel``  cache B again, ``--workers N``
+
+— then writes a machine-readable ``BENCH_pipeline.json`` (elapsed and
+per-stage timings, speedup ratios, cache hit counts) so successive PRs have
+a perf trajectory, and cross-checks that all four runs produced identical
+detection metrics (cache and parallelism must change wall-clock only).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_pipeline.py [--trace-dir .trace_cache]
+        [--workers 4] [--epochs 20] [--n-models 5] [--out runs/bench]
+        [--json BENCH_pipeline.json]
+
+Exit status: 0 on success, 1 when the runs disagree on detection metrics,
+2 on operator error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.pipeline import PipelineConfig, run_pipeline  # noqa: E402
+from repro.telemetry import get_logger, log_event  # noqa: E402
+
+logger = get_logger("repro.tools.bench")
+
+BENCH_VERSION = 1
+
+#: metrics fields that must be identical across every benchmarked run
+_STABLE_KEYS = ("ingest", "dataset", "training", "metrics")
+
+
+def _stable_view(metrics: dict) -> dict:
+    view = {k: metrics[k] for k in _STABLE_KEYS}
+    # cache hit counts legitimately differ between cold and warm runs
+    view["ingest"] = {k: v for k, v in view["ingest"].items() if k != "cache"}
+    return view
+
+
+def _one_run(name: str, args, *, workers: int, cache_dir: Path, out_root: Path) -> tuple[dict, dict]:
+    config = PipelineConfig(
+        trace_dir=args.trace_dir,
+        out_dir=str(out_root / name),
+        epochs=args.epochs,
+        seed=args.seed,
+        n_models=args.n_models,
+        workers=workers,
+        cache_dir=str(cache_dir),
+        faults=FaultPlan.parse(args.faults) if args.faults else None,
+    )
+    t0 = time.monotonic()
+    metrics = run_pipeline(config)
+    elapsed = time.monotonic() - t0
+    row = {
+        "workers": workers,
+        "elapsed_s": round(elapsed, 3),
+        "timings": metrics["timings"],
+        "cache": metrics["ingest"].get("cache"),
+        "loaded": metrics["ingest"]["loaded"],
+        "quarantined": metrics["ingest"]["quarantined"],
+        "trace_accuracy": metrics["metrics"]["trace_accuracy"],
+    }
+    log_event(
+        logger,
+        "bench.run",
+        name=name,
+        workers=workers,
+        elapsed=f"{elapsed:.2f}",
+        ingest=f"{metrics['timings']['ingest_s']:.2f}",
+    )
+    return row, metrics
+
+
+def _ratio(a: float, b: float) -> float:
+    return round(a / b, 2) if b > 0 else float("inf")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-dir", default=".trace_cache")
+    parser.add_argument("--out", default="runs/bench", help="scratch directory for run outputs")
+    parser.add_argument("--json", default="BENCH_pipeline.json", help="benchmark report path")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--n-models", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--faults", default=None, help="optional fault spec for all runs")
+    args = parser.parse_args(argv)
+
+    corpus = Path(args.trace_dir)
+    n_files = len(sorted(corpus.glob("*.pkl")))
+    if n_files == 0:
+        print(f"no trace files under {corpus}", file=sys.stderr)
+        return 2
+
+    out_root = Path(args.out)
+    cache_a = out_root / "cache_serial"
+    cache_b = out_root / "cache_parallel"
+    for cache in (cache_a, cache_b):
+        shutil.rmtree(cache, ignore_errors=True)
+
+    plan = [
+        ("cold_serial", 1, cache_a),
+        ("warm_serial", 1, cache_a),
+        ("cold_parallel", args.workers, cache_b),
+        ("warm_parallel", args.workers, cache_b),
+    ]
+    runs: dict[str, dict] = {}
+    stable: dict[str, dict] = {}
+    try:
+        for name, workers, cache in plan:
+            runs[name], metrics = _one_run(
+                name, args, workers=workers, cache_dir=cache, out_root=out_root
+            )
+            stable[name] = _stable_view(metrics)
+    except ReproError as exc:
+        print(f"benchmark failed: [{exc.code}] {exc}", file=sys.stderr)
+        return 2
+
+    baseline = stable["cold_serial"]
+    consistent = all(view == baseline for view in stable.values())
+
+    doc = {
+        "version": BENCH_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "corpus": str(corpus),
+        "n_files": n_files,
+        "config": {
+            "workers": args.workers,
+            "epochs": args.epochs,
+            "n_models": args.n_models,
+            "seed": args.seed,
+            "faults": args.faults,
+        },
+        "runs": runs,
+        "speedups": {
+            "warm_vs_cold_serial": _ratio(
+                runs["cold_serial"]["elapsed_s"], runs["warm_serial"]["elapsed_s"]
+            ),
+            "warm_vs_cold_serial_ingest": _ratio(
+                runs["cold_serial"]["timings"]["ingest_s"],
+                runs["warm_serial"]["timings"]["ingest_s"],
+            ),
+            "parallel_vs_serial_cold": _ratio(
+                runs["cold_serial"]["elapsed_s"], runs["cold_parallel"]["elapsed_s"]
+            ),
+            "warm_parallel_vs_cold_serial": _ratio(
+                runs["cold_serial"]["elapsed_s"], runs["warm_parallel"]["elapsed_s"]
+            ),
+        },
+        "metrics_consistent": consistent,
+    }
+    Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+
+    width = max(len(name) for name, _, _ in plan)
+    print(f"{'run':<{width}}  workers  elapsed_s  ingest_s  cache_hits")
+    for name, _, _ in plan:
+        row = runs[name]
+        hits = row["cache"]["hits"] if row["cache"] else 0
+        print(
+            f"{name:<{width}}  {row['workers']:>7}  {row['elapsed_s']:>9.2f}"
+            f"  {row['timings']['ingest_s']:>8.2f}  {hits:>10}"
+        )
+    print(f"speedups: {json.dumps(doc['speedups'])}")
+    if not consistent:
+        print("metrics DIVERGED between runs -- cache/parallel bug", file=sys.stderr)
+        return 1
+    print(f"metrics consistent across all runs; report -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
