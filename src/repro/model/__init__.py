@@ -1,5 +1,24 @@
-"""Model layer: the hashed-weight perceptron detector."""
+"""Model layer: the hashed-weight perceptron detector, its training kernels,
+and the parallel ensemble trainer."""
 
-from .perceptron import HashedPerceptron, ensemble_margins, trace_verdicts
+from .kernels import (
+    ONLINE_KERNELS,
+    fit_epoch_blocked,
+    fit_epoch_minibatch,
+    fit_epoch_reference,
+)
+from .perceptron import FIT_MODES, HashedPerceptron, ensemble_margins, trace_verdicts
+from .train_pool import TrainedMember, train_ensemble
 
-__all__ = ["HashedPerceptron", "ensemble_margins", "trace_verdicts"]
+__all__ = [
+    "FIT_MODES",
+    "HashedPerceptron",
+    "ONLINE_KERNELS",
+    "TrainedMember",
+    "ensemble_margins",
+    "fit_epoch_blocked",
+    "fit_epoch_minibatch",
+    "fit_epoch_reference",
+    "train_ensemble",
+    "trace_verdicts",
+]

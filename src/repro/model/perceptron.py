@@ -14,8 +14,12 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ModelError
+from .kernels import ONLINE_KERNELS, TrainPlan, fit_epoch_minibatch
 
 MODEL_VERSION = 1
+
+#: training modes accepted by :meth:`HashedPerceptron.fit`
+FIT_MODES = ("online", "minibatch")
 
 #: rows scored per chunk in the batched decision path; bounds the transient
 #: (batch, n_features) int64 index matrix to ~75 MB at 1159 features
@@ -61,23 +65,44 @@ class HashedPerceptron:
 
     def _quantize(self, X: np.ndarray) -> np.ndarray:
         """Map z-scored values into ``n_bins`` integer buckets over [-4, 4]."""
-        scaled = (np.clip(X, -4.0, 4.0) + 4.0) * (self.n_bins / 8.0)
-        return np.minimum(scaled.astype(np.int64), self.n_bins - 1)
+        scaled = np.clip(X, -4.0, 4.0)
+        scaled += 4.0
+        scaled *= self.n_bins / 8.0
+        bins = scaled.astype(np.int64)
+        np.minimum(bins, self.n_bins - 1, out=bins)
+        return bins
 
     def _indices(self, X: np.ndarray) -> np.ndarray:
-        """Per-sample weight index for every feature: (n_samples, n_features)."""
+        """Per-sample weight index for every feature: (n_samples, n_features).
+
+        The hash arithmetic runs in place on one uint64 buffer — index
+        construction is memory-bound at corpus scale, so every avoided
+        temporary is a full pass over an (n_samples, n_features) matrix.
+        """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.n_features:
             raise ModelError(
                 f"input shape {X.shape} does not match n_features={self.n_features}"
             )
-        bins = self._quantize(X).astype(np.uint64)
+        # int64 -> uint64 view is the same bits as astype for every value
+        # (two's-complement wrap), without another full-matrix copy
+        h = self._quantize(X).view(np.uint64)
         with np.errstate(over="ignore"):
-            h = (bins * _GOLDEN + self._salts[None, :]) * _MIX
-        return ((h >> np.uint64(17)).astype(np.int64)) & (self.table_size - 1)
+            h *= _GOLDEN
+            h += self._salts[None, :]
+            h *= _MIX
+        h >>= np.uint64(17)
+        out = h.view(np.int64)  # free reinterpret: values are < 2**47 here
+        out &= self.table_size - 1
+        return out
 
     def _flat_indices(self, X: np.ndarray) -> np.ndarray:
-        return self._indices(X) + self._tables[None, :] * self.table_size
+        """Flat weight index per (sample, feature), as int32 — the weight
+        space is n_tables * table_size entries, far below 2**31, and the
+        narrower dtype halves the bandwidth of every training-epoch gather."""
+        idx = self._indices(X)
+        idx += self._tables[None, :] * self.table_size
+        return idx.astype(np.int32)
 
     # -- inference -------------------------------------------------------
 
@@ -112,36 +137,82 @@ class HashedPerceptron:
 
     # -- training --------------------------------------------------------
 
-    def fit_epoch(self, X: np.ndarray, y: np.ndarray, *, shuffle_rng=None) -> int:
-        """One online pass; returns the number of weight updates made."""
+    def _check_labels(self, y: np.ndarray) -> np.ndarray:
         y = np.asarray(y)
         if set(np.unique(y)) - {-1, 1}:
             raise ModelError("labels must be -1 or +1")
-        flat = self._flat_indices(X)
-        w = self.weights.ravel()
+        return y.astype(np.int64, copy=False)
+
+    def fit_epoch(
+        self, X: np.ndarray, y: np.ndarray, *, shuffle_rng=None, kernel: str = "blocked"
+    ) -> int:
+        """One online pass; returns the number of weight updates made.
+
+        ``kernel`` selects the execution plan (``blocked`` or ``reference``);
+        both produce bit-identical weights, which the equivalence tests pin.
+        Standalone calls recompute the hash indices — :meth:`fit` computes
+        them once and reuses them across every epoch.
+        """
+        y = self._check_labels(y)
+        plan = TrainPlan.from_flat(self._flat_indices(X))
         order = np.arange(len(y))
         if shuffle_rng is not None:
             shuffle_rng.shuffle(order)
-        updates = 0
-        for i in order:
-            idx = flat[i]
-            margin = int(w[idx].sum())
-            target = int(y[i])
-            if target * margin <= self.theta:
-                np.add.at(w, idx, target)
-                np.clip(w, -self.weight_clamp, self.weight_clamp, out=w)
-                updates += 1
-        return updates
+        return self._run_online_epoch(plan, y, order, kernel)
+
+    def _run_online_epoch(
+        self, plan: TrainPlan, y: np.ndarray, order: np.ndarray, kernel: str
+    ) -> int:
+        try:
+            fn = ONLINE_KERNELS[kernel]
+        except KeyError:
+            raise ModelError(
+                f"unknown kernel {kernel!r}; expected one of {sorted(ONLINE_KERNELS)}"
+            ) from None
+        return fn(self.weights.ravel(), plan, y, order, self.theta, self.weight_clamp)
 
     def fit(
-        self, X: np.ndarray, y: np.ndarray, *, epochs: int = 20, seed: int | None = None
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 20,
+        seed: int | None = None,
+        mode: str = "online",
+        kernel: str = "blocked",
+        minibatch_size: int | None = None,
     ) -> list[int]:
         """Train until an epoch makes no misprediction-driven updates or the
-        epoch budget runs out; returns per-epoch update counts."""
+        epoch budget runs out; returns per-epoch update counts.
+
+        Label validation and hash-index computation run **once** here and are
+        reused by every epoch.  ``mode="online"`` (default) is the sequential
+        threshold rule, bit-identical for either ``kernel``;
+        ``mode="minibatch"`` applies the rule per mini-batch — a different
+        but accuracy-equivalent training order.
+        """
+        if mode not in FIT_MODES:
+            raise ModelError(f"unknown fit mode {mode!r}; expected one of {FIT_MODES}")
+        if mode == "online" and kernel not in ONLINE_KERNELS:
+            raise ModelError(
+                f"unknown kernel {kernel!r}; expected one of {sorted(ONLINE_KERNELS)}"
+            )
+        y = self._check_labels(y)
+        plan = TrainPlan.from_flat(self._flat_indices(X))
+        w = self.weights.ravel()
         rng = np.random.default_rng(self.seed if seed is None else seed)
+        n = len(y)
         history = []
         for _ in range(epochs):
-            updates = self.fit_epoch(X, y, shuffle_rng=rng)
+            order = np.arange(n)
+            rng.shuffle(order)
+            if mode == "minibatch":
+                kwargs = {} if minibatch_size is None else {"batch_size": minibatch_size}
+                updates = fit_epoch_minibatch(
+                    w, plan, y, order, self.theta, self.weight_clamp, **kwargs
+                )
+            else:
+                updates = self._run_online_epoch(plan, y, order, kernel)
             history.append(updates)
             if updates == 0:
                 break

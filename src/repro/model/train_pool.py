@@ -1,0 +1,130 @@
+"""Process-based parallel ensemble training.
+
+:func:`train_ensemble` fits every hash-seeded ensemble member and returns
+them **in model order**, with per-member training seconds and update
+histories.  Worker count is semantics-free exactly like the ingest pool:
+each member's training depends only on its own seed (hash salts, shuffle
+order, and weights all derive from it, never from worker identity or shared
+state), so ``workers=N`` produces bit-identical models to ``workers=1`` for
+any ``N`` — the train-pool regression tests pin this.
+
+Workers ship back ``(weights, history, elapsed)`` rather than whole models;
+the parent reconstructs each member from its seed (which regenerates the
+identical salts) and installs the trained weights.  The training matrix is
+broadcast once per worker via the pool initializer instead of once per task.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..telemetry import get_logger, log_event
+from .perceptron import HashedPerceptron
+
+logger = get_logger("repro.model.train_pool")
+
+
+@dataclass
+class TrainedMember:
+    """One fitted ensemble member plus its training record."""
+
+    model: HashedPerceptron
+    history: list[int] = field(default_factory=list)
+    train_s: float = 0.0
+
+
+_WORKER_STATE: tuple | None = None
+
+
+def _init_worker(X: np.ndarray, y: np.ndarray, model_kwargs: dict, fit_kwargs: dict) -> None:
+    """Stash the broadcast training set once per worker process."""
+    global _WORKER_STATE
+    _WORKER_STATE = (X, y, model_kwargs, fit_kwargs)
+
+
+def _fit_member(task: tuple[int, int, int]) -> tuple[int, np.ndarray, list[int], float]:
+    n_features, seed = task[1], task[2]
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    X, y, model_kwargs, fit_kwargs = _WORKER_STATE
+    t0 = time.monotonic()
+    model = HashedPerceptron(n_features, seed=seed, **model_kwargs)
+    history = model.fit(X, y, **fit_kwargs)
+    return task[0], model.weights, history, time.monotonic() - t0
+
+
+def train_ensemble(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_features: int,
+    seeds: list[int],
+    model_kwargs: dict | None = None,
+    fit_kwargs: dict | None = None,
+    workers: int = 1,
+) -> list[TrainedMember]:
+    """Fit one member per seed; results are returned in ``seeds`` order.
+
+    ``workers <= 1`` trains serially in-process.  ``model_kwargs`` feeds the
+    :class:`HashedPerceptron` constructor (minus ``seed``); ``fit_kwargs``
+    feeds :meth:`HashedPerceptron.fit`.
+    """
+    model_kwargs = dict(model_kwargs or {})
+    fit_kwargs = dict(fit_kwargs or {})
+    t_start = time.monotonic()
+    n_workers = max(1, min(workers, len(seeds))) if seeds else 1
+    log_event(
+        logger,
+        "train_pool.start",
+        workers=n_workers,
+        members=len(seeds),
+        mode=fit_kwargs.get("mode", "online"),
+    )
+    members: list[TrainedMember] = []
+    if n_workers <= 1:
+        for k, seed in enumerate(seeds):
+            t0 = time.monotonic()
+            model = HashedPerceptron(n_features, seed=seed, **model_kwargs)
+            history = model.fit(X, y, **fit_kwargs)
+            elapsed = time.monotonic() - t0
+            members.append(TrainedMember(model=model, history=history, train_s=elapsed))
+            log_event(
+                logger,
+                "train_pool.member",
+                member=k,
+                seed=seed,
+                epochs=len(history),
+                elapsed=f"{elapsed:.3f}",
+            )
+    else:
+        tasks = [(k, n_features, seed) for k, seed in enumerate(seeds)]
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(np.ascontiguousarray(X), np.asarray(y), model_kwargs, fit_kwargs),
+        ) as executor:
+            # executor.map preserves submission order, so members come back
+            # in model order no matter which worker finishes first
+            for k, weights, history, elapsed in executor.map(_fit_member, tasks):
+                model = HashedPerceptron(n_features, seed=seeds[k], **model_kwargs)
+                model.weights = np.asarray(weights, dtype=np.int32)
+                members.append(TrainedMember(model=model, history=history, train_s=elapsed))
+                log_event(
+                    logger,
+                    "train_pool.member",
+                    member=k,
+                    seed=seeds[k],
+                    epochs=len(history),
+                    elapsed=f"{elapsed:.3f}",
+                )
+    log_event(
+        logger,
+        "train_pool.done",
+        workers=n_workers,
+        members=len(members),
+        elapsed=f"{time.monotonic() - t_start:.3f}",
+    )
+    return members

@@ -8,8 +8,11 @@ directory.  One bad input never aborts the run.
 
 With ``cache_dir`` set, decodes are memoized in a
 :class:`~repro.cache.FeatureCache`, so warm runs skip the salvage decoder.
-Worker count and cache state never change *what* is computed — only how
-fast — which the fault-matrix regression tests pin down.
+Worker count (ingest *and* training), cache state, and the online epoch
+kernel never change *what* is computed — only how fast — which the
+fault-matrix and train-pool regression tests pin down.  The one opt-in
+exception is ``fit_mode="minibatch"``: a different but accuracy-equivalent
+training order, gated by the golden-corpus accuracy check.
 """
 
 from __future__ import annotations
@@ -26,8 +29,8 @@ from ..faults import FaultPlan
 from ..features import Normalizer, build_dataset
 from ..ingest import load_corpus_pooled
 from ..ingest.retry import RetryPolicy
-from ..model import HashedPerceptron, ensemble_margins, trace_verdicts
-from ..telemetry import get_logger, log_event
+from ..model import ensemble_margins, trace_verdicts, train_ensemble
+from ..telemetry import get_logger, log_event, span
 
 logger = get_logger("repro.pipeline")
 
@@ -57,6 +60,14 @@ class PipelineConfig:
     retry_policy: RetryPolicy | None = None
     #: rows per scoring chunk; None = model default
     batch_size: int | None = None
+    #: training order: "online" (bit-identical default) or "minibatch"
+    fit_mode: str = "online"
+    #: online epoch kernel: "blocked" (fast) or "reference" (naive spec)
+    fit_kernel: str = "blocked"
+    #: samples per minibatch when fit_mode="minibatch"; None = kernel default
+    minibatch_size: int | None = None
+    #: ensemble-member training processes; <= 1 trains serially in-process
+    train_workers: int = 1
 
 
 def _class_key(trace) -> str:
@@ -123,26 +134,39 @@ def run_pipeline(config: PipelineConfig) -> dict:
     t_features = time.monotonic()
 
     # ---- model ----------------------------------------------------------
-    models = []
-    histories = []
-    for k in range(max(1, config.n_models)):
-        model = HashedPerceptron(
-            dataset.n_features,
-            n_tables=config.n_tables,
-            table_bits=config.table_bits,
-            n_bins=config.n_bins,
-            theta=config.theta,
-            seed=config.seed * 1000 + k,
-        )
-        histories.append(model.fit(Xtr, ytr, epochs=config.epochs))
-        model.save(out_dir / "models" / f"member_{k}.npz")
-        models.append(model)
-    log_event(
+    n_models = max(1, config.n_models)
+    with span(
         logger,
-        "pipeline.trained",
-        members=len(models),
-        epochs=[len(h) for h in histories],
-    )
+        "pipeline.train",
+        members=n_models,
+        mode=config.fit_mode,
+        kernel=config.fit_kernel,
+        workers=config.train_workers,
+    ) as train_span:
+        members = train_ensemble(
+            Xtr,
+            ytr,
+            n_features=dataset.n_features,
+            seeds=[config.seed * 1000 + k for k in range(n_models)],
+            model_kwargs={
+                "n_tables": config.n_tables,
+                "table_bits": config.table_bits,
+                "n_bins": config.n_bins,
+                "theta": config.theta,
+            },
+            fit_kwargs={
+                "epochs": config.epochs,
+                "mode": config.fit_mode,
+                "kernel": config.fit_kernel,
+                "minibatch_size": config.minibatch_size,
+            },
+            workers=config.train_workers,
+        )
+        for k, member in enumerate(members):
+            member.model.save(out_dir / "models" / f"member_{k}.npz")
+        train_span["epochs"] = [len(m.history) for m in members]
+    models = [m.model for m in members]
+    histories = [m.history for m in members]
     t_train = time.monotonic()
 
     # ---- eval -----------------------------------------------------------
@@ -197,6 +221,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
             "ingest_s": round(t_ingest - t_start, 3),
             "featurize_s": round(t_features - t_ingest, 3),
             "train_s": round(t_train - t_features, 3),
+            "train_members_s": [round(m.train_s, 3) for m in members],
             "eval_s": round(t_eval - t_train, 3),
         },
         "config": {
@@ -209,6 +234,10 @@ def run_pipeline(config: PipelineConfig) -> dict:
             "n_bins": config.n_bins,
             "theta": config.theta,
             "n_models": config.n_models,
+            "fit_mode": config.fit_mode,
+            "fit_kernel": config.fit_kernel,
+            "minibatch_size": config.minibatch_size,
+            "train_workers": config.train_workers,
             "faults": vars(config.faults) if config.faults else None,
         },
         "ingest": ingest_doc,

@@ -47,6 +47,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per scoring chunk (default: model's built-in batch size)",
     )
     parser.add_argument(
+        "--fit-mode",
+        choices=("online", "minibatch"),
+        default="online",
+        help="training order: online (bit-identical default) or minibatch "
+        "(batched threshold rule; accuracy-equivalent, not bit-identical)",
+    )
+    parser.add_argument(
+        "--fit-kernel",
+        choices=("blocked", "reference"),
+        default="blocked",
+        help="online epoch kernel; both are bit-identical, reference is the "
+        "naive per-sample spec kept for regression triage",
+    )
+    parser.add_argument(
+        "--minibatch-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="samples per minibatch when --fit-mode minibatch (default: kernel default)",
+    )
+    parser.add_argument(
+        "--train-workers",
+        type=int,
+        default=1,
+        help="ensemble-member training processes (1 = serial in-process); "
+        "semantics-free like --workers",
+    )
+    parser.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -79,6 +107,10 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         batch_size=args.batch_size,
+        fit_mode=args.fit_mode,
+        fit_kernel=args.fit_kernel,
+        minibatch_size=args.minibatch_size,
+        train_workers=args.train_workers,
     )
     try:
         metrics = run_pipeline(config)

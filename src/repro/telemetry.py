@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import logging
 import sys
+import time
+from contextlib import contextmanager
 
 #: attribute stamped on the handler this module installs, so configuration
 #: can be detected even when the module is re-imported under a fresh name
@@ -83,3 +85,34 @@ def fmt_event(event: str, **fields: object) -> str:
 
 def log_event(logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields) -> None:
     logger.log(level, fmt_event(event, **fields))
+
+
+@contextmanager
+def span(logger: logging.Logger, name: str, **fields):
+    """Log a ``<name>.start`` / ``<name>.done`` pair around a block, with
+    elapsed seconds on the closing event (``<name>.error`` + the exception's
+    taxonomy code when the block raises).  The yielded dict is merged into
+    the closing event, so callers can attach results discovered inside the
+    span (counts, cache hits, ...) without a second log call."""
+    extra: dict[str, object] = {}
+    log_event(logger, f"{name}.start", **fields)
+    t0 = time.monotonic()
+    try:
+        yield extra
+    except Exception as exc:
+        log_event(
+            logger,
+            f"{name}.error",
+            level=logging.ERROR,
+            elapsed=f"{time.monotonic() - t0:.3f}",
+            error=f"{type(exc).__name__}: {exc}",
+            code=getattr(exc, "code", "-"),
+            **fields,
+        )
+        raise
+    log_event(
+        logger,
+        f"{name}.done",
+        elapsed=f"{time.monotonic() - t0:.3f}",
+        **{**fields, **extra},
+    )

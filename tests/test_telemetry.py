@@ -71,3 +71,60 @@ def test_handler_is_not_duplicated_in_captured_output(capsys):
 def test_fmt_event_field_order_and_quoting():
     line = telemetry.fmt_event("x.y", b=2, a="has space")
     assert line == "event=x.y b=2 a='has space'"
+
+
+# -- span ------------------------------------------------------------------
+
+
+def test_span_logs_start_and_done_with_elapsed(capsys):
+    telemetry.reset_logging()
+    logger = telemetry.get_logger("repro.span_check")
+    with telemetry.span(logger, "stage", items=3):
+        pass
+    err = capsys.readouterr().err
+    assert "event=stage.start items=3" in err
+    assert "event=stage.done elapsed=" in err
+    assert "items=3" in err.splitlines()[-1]
+
+
+def test_span_merges_yielded_fields_into_done_event(capsys):
+    telemetry.reset_logging()
+    logger = telemetry.get_logger("repro.span_check")
+    with telemetry.span(logger, "stage") as extra:
+        extra["hits"] = 5
+    err = capsys.readouterr().err
+    done = [line for line in err.splitlines() if "event=stage.done" in line]
+    assert len(done) == 1
+    assert "hits=5" in done[0]
+
+
+def test_span_logs_error_with_taxonomy_code_and_reraises(capsys):
+    from repro.errors import IngestError
+
+    telemetry.reset_logging()
+    logger = telemetry.get_logger("repro.span_check")
+    try:
+        with telemetry.span(logger, "stage"):
+            raise IngestError("boom")
+    except IngestError:
+        pass
+    else:  # pragma: no cover - the span must re-raise
+        raise AssertionError("span swallowed the exception")
+    err = capsys.readouterr().err
+    error_lines = [line for line in err.splitlines() if "event=stage.error" in line]
+    assert len(error_lines) == 1
+    assert "error='IngestError: boom'" in error_lines[0]
+    assert "code=ingest_error" in error_lines[0]
+    assert "event=stage.done" not in err
+
+
+def test_span_error_for_plain_exception_uses_dash_code(capsys):
+    telemetry.reset_logging()
+    logger = telemetry.get_logger("repro.span_check")
+    try:
+        with telemetry.span(logger, "stage"):
+            raise ValueError("plain")
+    except ValueError:
+        pass
+    err = capsys.readouterr().err
+    assert "code=-" in err

@@ -1,0 +1,163 @@
+"""Training-kernel equivalence: the optimized blocked kernel must be
+bit-identical to the kept-as-reference naive ``fit_epoch`` across seeds,
+shuffles, and fault-injected corpora; the minibatch mode must obey the
+clamp and update-count contracts even though its training order differs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.faults import FaultPlan
+from repro.features import Normalizer, build_dataset
+from repro.ingest import load_corpus_pooled
+from repro.model import HashedPerceptron
+from repro.model.kernels import TrainPlan
+
+GOLDEN = Path(__file__).resolve().parent / "fixtures" / "golden"
+
+
+def blobs(n=120, d=24, gap=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [
+            rng.normal(-gap / 2, 1.0, size=(n // 2, d)),
+            rng.normal(+gap / 2, 1.0, size=(n // 2, d)),
+        ]
+    )
+    y = np.array([-1] * (n // 2) + [1] * (n // 2), dtype=np.int64)
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+def fit_pair(X, y, *, seed, epochs=12, theta=5.0, **kw):
+    """Train one model per kernel from identical initial state."""
+    out = {}
+    for kernel in ("reference", "blocked"):
+        model = HashedPerceptron(X.shape[1], theta=theta, seed=seed, **kw)
+        history = model.fit(X, y, epochs=epochs, kernel=kernel)
+        out[kernel] = (model.weights.copy(), history)
+    return out
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 1234])
+def test_blocked_matches_reference_bitwise(seed):
+    X, y = blobs(seed=seed)
+    pair = fit_pair(X, y, seed=seed)
+    ref_w, ref_h = pair["reference"]
+    blk_w, blk_h = pair["blocked"]
+    assert ref_h == blk_h, "update histories diverged"
+    np.testing.assert_array_equal(ref_w, blk_w)
+
+
+def test_blocked_matches_reference_under_shuffle_streams():
+    """Different fit seeds draw different shuffle orders; every one of them
+    must agree bit-for-bit between kernels."""
+    X, y = blobs(seed=3)
+    for fit_seed in (0, 5, 99):
+        ref = HashedPerceptron(X.shape[1], theta=5.0, seed=11)
+        blk = HashedPerceptron(X.shape[1], theta=5.0, seed=11)
+        ref_h = ref.fit(X, y, epochs=8, seed=fit_seed, kernel="reference")
+        blk_h = blk.fit(X, y, epochs=8, seed=fit_seed, kernel="blocked")
+        assert ref_h == blk_h
+        np.testing.assert_array_equal(ref.weights, blk.weights)
+
+
+def test_fit_epoch_kernels_agree_without_shuffle():
+    X, y = blobs(seed=2)
+    ref = HashedPerceptron(X.shape[1], theta=5.0, seed=4)
+    blk = HashedPerceptron(X.shape[1], theta=5.0, seed=4)
+    assert ref.fit_epoch(X, y, kernel="reference") == blk.fit_epoch(X, y, kernel="blocked")
+    np.testing.assert_array_equal(ref.weights, blk.weights)
+
+
+@pytest.mark.parametrize(
+    "faults",
+    [
+        pytest.param(None, id="clean"),
+        pytest.param(FaultPlan(corrupt_rate=0.25, seed=11), id="corrupt-25"),
+        pytest.param(FaultPlan(corrupt_rate=0.50, seed=11), id="corrupt-50"),
+    ],
+)
+def test_kernels_agree_on_fault_injected_corpus(faults):
+    """The real (possibly salvage-degraded) feature matrices must train
+    identically under both kernels, whatever the fault rate did to them."""
+    results, _ = load_corpus_pooled(GOLDEN, workers=1, faults=faults)
+    assert results, "golden corpus must yield at least one decodable trace"
+    dataset = build_dataset([r.trace for r in results])
+    X = Normalizer().fit(dataset.X).transform(dataset.X)
+    pair = fit_pair(X, dataset.y, seed=7, epochs=6)
+    ref_w, ref_h = pair["reference"]
+    blk_w, blk_h = pair["blocked"]
+    assert ref_h == blk_h
+    np.testing.assert_array_equal(ref_w, blk_w)
+
+
+def test_train_plan_preserves_index_multiset():
+    """CSR dedup must reproduce exactly the flat index multiset per sample —
+    that is what makes the fast update bit-identical to ``np.add.at``."""
+    X, _ = blobs(n=30, seed=9)
+    model = HashedPerceptron(X.shape[1], seed=9)
+    flat = model._flat_indices(X)
+    plan = TrainPlan.from_flat(flat)
+    for i in range(flat.shape[0]):
+        ui, cnt = plan.sample(i)
+        assert len(ui) == len(np.unique(flat[i]))
+        rebuilt = np.sort(np.repeat(ui, cnt))
+        np.testing.assert_array_equal(rebuilt, np.sort(flat[i]))
+        assert cnt.sum() == flat.shape[1]
+
+
+def test_plan_indices_computed_once_per_fit_are_reused():
+    """The permuted-row scratch is allocated once and reused across epochs."""
+    X, y = blobs(n=40, seed=1)
+    model = HashedPerceptron(X.shape[1], theta=5.0, seed=1)
+    flat = model._flat_indices(X)
+    plan = TrainPlan.from_flat(flat)
+    order = np.arange(len(y))
+    first = plan.permuted_rows(order)
+    second = plan.permuted_rows(order[::-1].copy())
+    assert first is second  # same buffer, rewritten in place
+    np.testing.assert_array_equal(second, flat[order[::-1]])
+
+
+def test_minibatch_respects_clamp_and_counts_updates():
+    X, y = blobs(seed=5)
+    model = HashedPerceptron(X.shape[1], theta=1000.0, weight_clamp=7, seed=5)
+    history = model.fit(X, y, epochs=5, mode="minibatch")
+    assert sum(history) > 0
+    assert model.weights.max() <= 7
+    assert model.weights.min() >= -7
+
+
+def test_minibatch_learns_separable_data():
+    X, y = blobs(gap=4.0, seed=6)
+    model = HashedPerceptron(X.shape[1], theta=5.0, seed=6)
+    model.fit(X, y, epochs=20, mode="minibatch")
+    assert (model.predict(X) == y).mean() >= 0.95
+
+
+def test_minibatch_size_one_equals_online():
+    """A one-sample batch sees no stale decisions, so the minibatch rule
+    degenerates to the online rule exactly."""
+    X, y = blobs(n=60, seed=8)
+    online = HashedPerceptron(X.shape[1], theta=5.0, seed=8)
+    mb = HashedPerceptron(X.shape[1], theta=5.0, seed=8)
+    h_online = online.fit(X, y, epochs=6)
+    h_mb = mb.fit(X, y, epochs=6, mode="minibatch", minibatch_size=1)
+    assert h_online == h_mb
+    np.testing.assert_array_equal(online.weights, mb.weights)
+
+
+def test_unknown_mode_and_kernel_are_typed_errors():
+    X, y = blobs(n=20, seed=0)
+    model = HashedPerceptron(X.shape[1], seed=0)
+    with pytest.raises(ModelError):
+        model.fit(X, y, mode="sgd")
+    with pytest.raises(ModelError):
+        model.fit(X, y, kernel="warp")
+    with pytest.raises(ModelError):
+        model.fit_epoch(X, y, kernel="warp")

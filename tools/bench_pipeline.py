@@ -1,23 +1,37 @@
 #!/usr/bin/env python3
-"""Benchmark the pipeline: cold serial vs warm cache vs parallel ingest.
+"""Benchmark the pipeline: ingest caching/parallelism AND training kernels.
 
-Runs ``repro.pipeline`` four times over the same corpus —
+Runs ``repro.pipeline`` over the same corpus in two groups —
+
+ingest group (varies decode path only):
 
 1. ``cold_serial``    fresh cache, ``--workers 1`` (populates cache A)
 2. ``warm_serial``    cache A again: every decode is a cache hit
 3. ``cold_parallel``  fresh cache, ``--workers N`` (populates cache B)
 4. ``warm_parallel``  cache B again, ``--workers N``
 
+train group (cache A stays warm, training path varies):
+
+5. ``warm_ref_train``       ``--fit-kernel reference`` — the naive
+   per-sample spec; its ``train_s`` is the training baseline
+6. ``warm_train_parallel``  ``--train-workers N`` — pooled member training
+7. ``warm_minibatch``       ``--fit-mode minibatch`` — batched rule (opt-in)
+
 — then writes a machine-readable ``BENCH_pipeline.json`` (elapsed and
 per-stage timings, speedup ratios, cache hit counts) so successive PRs have
-a perf trajectory, and cross-checks that all four runs produced identical
-detection metrics (cache and parallelism must change wall-clock only).
+a perf trajectory, and cross-checks consistency: every run except
+``warm_minibatch`` must produce *identical* detection metrics (cache,
+parallelism, and the online kernel change wall-clock only), and
+``warm_minibatch`` must stay within the accuracy tolerance of the baseline.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_pipeline.py [--trace-dir .trace_cache]
         [--workers 4] [--epochs 20] [--n-models 5] [--out runs/bench]
-        [--json BENCH_pipeline.json]
+        [--json BENCH_pipeline.json] [--quick] [--check]
+
+``--quick`` shrinks epochs/models for a fast CI smoke run; ``--check``
+verifies the consistency rules without writing the report.
 
 Exit status: 0 on success, 1 when the runs disagree on detection metrics,
 2 on operator error.
@@ -41,10 +55,15 @@ from repro.telemetry import get_logger, log_event  # noqa: E402
 
 logger = get_logger("repro.tools.bench")
 
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 
 #: metrics fields that must be identical across every benchmarked run
+#: (except ``warm_minibatch``, which is held to the accuracy tolerance)
 _STABLE_KEYS = ("ingest", "dataset", "training", "metrics")
+
+#: runs exempt from the exact-match rule: a different training order is
+#: allowed to move trace_accuracy within this absolute tolerance
+_TOLERANT_RUNS = ("warm_minibatch",)
 
 
 def _stable_view(metrics: dict) -> dict:
@@ -54,22 +73,27 @@ def _stable_view(metrics: dict) -> dict:
     return view
 
 
-def _one_run(name: str, args, *, workers: int, cache_dir: Path, out_root: Path) -> tuple[dict, dict]:
+def _one_run(
+    name: str, args, *, cache_dir: Path, out_root: Path, overrides: dict
+) -> tuple[dict, dict]:
     config = PipelineConfig(
         trace_dir=args.trace_dir,
         out_dir=str(out_root / name),
         epochs=args.epochs,
         seed=args.seed,
         n_models=args.n_models,
-        workers=workers,
         cache_dir=str(cache_dir),
         faults=FaultPlan.parse(args.faults) if args.faults else None,
+        **overrides,
     )
     t0 = time.monotonic()
     metrics = run_pipeline(config)
     elapsed = time.monotonic() - t0
     row = {
-        "workers": workers,
+        "workers": config.workers,
+        "fit_mode": config.fit_mode,
+        "fit_kernel": config.fit_kernel,
+        "train_workers": config.train_workers,
         "elapsed_s": round(elapsed, 3),
         "timings": metrics["timings"],
         "cache": metrics["ingest"].get("cache"),
@@ -81,9 +105,10 @@ def _one_run(name: str, args, *, workers: int, cache_dir: Path, out_root: Path) 
         logger,
         "bench.run",
         name=name,
-        workers=workers,
+        workers=config.workers,
         elapsed=f"{elapsed:.2f}",
         ingest=f"{metrics['timings']['ingest_s']:.2f}",
+        train=f"{metrics['timings']['train_s']:.2f}",
     )
     return row, metrics
 
@@ -102,7 +127,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-models", type=int, default=5)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--faults", default=None, help="optional fault spec for all runs")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink epochs/models/workers for a fast smoke run (CI)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify metric-consistency rules only; do not write the report",
+    )
+    parser.add_argument(
+        "--minibatch-tolerance",
+        type=float,
+        default=0.15,
+        metavar="ABS",
+        help="allowed |trace_accuracy - baseline| for the minibatch run",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.epochs = min(args.epochs, 6)
+        args.n_models = min(args.n_models, 2)
+        args.workers = min(args.workers, 2)
 
     corpus = Path(args.trace_dir)
     n_files = len(sorted(corpus.glob("*.pkl")))
@@ -117,17 +163,20 @@ def main(argv: list[str] | None = None) -> int:
         shutil.rmtree(cache, ignore_errors=True)
 
     plan = [
-        ("cold_serial", 1, cache_a),
-        ("warm_serial", 1, cache_a),
-        ("cold_parallel", args.workers, cache_b),
-        ("warm_parallel", args.workers, cache_b),
+        ("cold_serial", cache_a, {"workers": 1}),
+        ("warm_serial", cache_a, {"workers": 1}),
+        ("cold_parallel", cache_b, {"workers": args.workers}),
+        ("warm_parallel", cache_b, {"workers": args.workers}),
+        ("warm_ref_train", cache_a, {"workers": 1, "fit_kernel": "reference"}),
+        ("warm_train_parallel", cache_a, {"workers": 1, "train_workers": args.workers}),
+        ("warm_minibatch", cache_a, {"workers": 1, "fit_mode": "minibatch"}),
     ]
     runs: dict[str, dict] = {}
     stable: dict[str, dict] = {}
     try:
-        for name, workers, cache in plan:
+        for name, cache, overrides in plan:
             runs[name], metrics = _one_run(
-                name, args, workers=workers, cache_dir=cache, out_root=out_root
+                name, args, cache_dir=cache, out_root=out_root, overrides=overrides
             )
             stable[name] = _stable_view(metrics)
     except ReproError as exc:
@@ -135,7 +184,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     baseline = stable["cold_serial"]
-    consistent = all(view == baseline for view in stable.values())
+    exact_names = [name for name, _, _ in plan if name not in _TOLERANT_RUNS]
+    diverged = [name for name in exact_names if stable[name] != baseline]
+    accuracy_gap = abs(
+        runs["warm_minibatch"]["trace_accuracy"] - runs["cold_serial"]["trace_accuracy"]
+    )
+    tolerant_ok = accuracy_gap <= args.minibatch_tolerance
+    consistent = not diverged and tolerant_ok
 
     doc = {
         "version": BENCH_VERSION,
@@ -148,6 +203,7 @@ def main(argv: list[str] | None = None) -> int:
             "n_models": args.n_models,
             "seed": args.seed,
             "faults": args.faults,
+            "quick": args.quick,
         },
         "runs": runs,
         "speedups": {
@@ -164,25 +220,46 @@ def main(argv: list[str] | None = None) -> int:
             "warm_parallel_vs_cold_serial": _ratio(
                 runs["cold_serial"]["elapsed_s"], runs["warm_parallel"]["elapsed_s"]
             ),
+            "train_blocked_vs_reference": _ratio(
+                runs["warm_ref_train"]["timings"]["train_s"],
+                runs["warm_serial"]["timings"]["train_s"],
+            ),
+            "train_minibatch_vs_reference": _ratio(
+                runs["warm_ref_train"]["timings"]["train_s"],
+                runs["warm_minibatch"]["timings"]["train_s"],
+            ),
         },
+        "minibatch_accuracy_gap": round(accuracy_gap, 6),
         "metrics_consistent": consistent,
     }
-    Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+    if not args.check:
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
 
     width = max(len(name) for name, _, _ in plan)
-    print(f"{'run':<{width}}  workers  elapsed_s  ingest_s  cache_hits")
+    print(f"{'run':<{width}}  workers  elapsed_s  ingest_s  train_s  cache_hits")
     for name, _, _ in plan:
         row = runs[name]
         hits = row["cache"]["hits"] if row["cache"] else 0
         print(
             f"{name:<{width}}  {row['workers']:>7}  {row['elapsed_s']:>9.2f}"
-            f"  {row['timings']['ingest_s']:>8.2f}  {hits:>10}"
+            f"  {row['timings']['ingest_s']:>8.2f}"
+            f"  {row['timings']['train_s']:>7.2f}  {hits:>10}"
         )
     print(f"speedups: {json.dumps(doc['speedups'])}")
-    if not consistent:
-        print("metrics DIVERGED between runs -- cache/parallel bug", file=sys.stderr)
+    if diverged:
+        print(f"metrics DIVERGED from baseline in: {diverged}", file=sys.stderr)
         return 1
-    print(f"metrics consistent across all runs; report -> {args.json}")
+    if not tolerant_ok:
+        print(
+            f"minibatch trace_accuracy gap {accuracy_gap:.4f} exceeds "
+            f"tolerance {args.minibatch_tolerance}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        print("metrics consistent across all runs (check mode; no report written)")
+    else:
+        print(f"metrics consistent across all runs; report -> {args.json}")
     return 0
 
 
