@@ -98,3 +98,59 @@ class FeatureError(ReproError):
 
 class ModelError(ReproError):
     code = "model_error"
+
+
+class ArtifactError(ModelError):
+    """A versioned model artifact failed verification (missing file, checksum
+    mismatch, unsupported version).  Loaders refuse the artifact rather than
+    serving half a model; the serving layer falls back to the last good
+    version."""
+
+    code = "artifact_error"
+
+
+# ---------------------------------------------------------------------------
+# serving errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """A per-request serving failure.  Carries an HTTP-style ``status`` so the
+    daemon can answer every failure with a structured response instead of
+    dropping the connection."""
+
+    code = "serve_error"
+    status = 500
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d["status"] = self.status
+        return d
+
+
+class BadRequest(ServeError):
+    """The request line is not a well-formed scoring request."""
+
+    code = "bad_request"
+    status = 400
+
+
+class Overloaded(ServeError):
+    """The bounded request queue is full; the request was shed."""
+
+    code = "overloaded"
+    status = 503
+
+
+class DeadlineExceeded(ServeError):
+    """The request sat in the queue past its deadline."""
+
+    code = "deadline_exceeded"
+    status = 504
+
+
+class ScoringWedged(ServeError):
+    """The scoring task exceeded its watchdog budget and was recycled."""
+
+    code = "scoring_wedged"
+    status = 500

@@ -4,6 +4,7 @@ layer gave up on, with its typed failure reason from :mod:`repro.errors`."""
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -80,9 +81,21 @@ class QuarantineManifest:
         }
 
     def write(self, path) -> None:
+        """Atomically write the manifest (tmp file + ``os.replace``, the same
+        pattern as :mod:`repro.cache`): a crash mid-write leaves either the
+        previous manifest or none — never a truncated JSON document."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n")
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path) -> "QuarantineManifest":

@@ -1,24 +1,35 @@
 """Model layer: the hashed-weight perceptron detector, its training kernels,
-and the parallel ensemble trainer."""
+the parallel ensemble trainer, and the versioned artifact store."""
 
+from .artifact import ArtifactStore, LoadedArtifact, PublishResult
 from .kernels import (
     ONLINE_KERNELS,
     fit_epoch_blocked,
     fit_epoch_minibatch,
     fit_epoch_reference,
 )
-from .perceptron import FIT_MODES, HashedPerceptron, ensemble_margins, trace_verdicts
+from .perceptron import (
+    FIT_MODES,
+    HashedPerceptron,
+    ensemble_margins,
+    margin_scales,
+    trace_verdicts,
+)
 from .train_pool import TrainedMember, train_ensemble
 
 __all__ = [
+    "ArtifactStore",
     "FIT_MODES",
     "HashedPerceptron",
+    "LoadedArtifact",
     "ONLINE_KERNELS",
+    "PublishResult",
     "TrainedMember",
     "ensemble_margins",
     "fit_epoch_blocked",
     "fit_epoch_minibatch",
     "fit_epoch_reference",
+    "margin_scales",
     "train_ensemble",
     "trace_verdicts",
 ]

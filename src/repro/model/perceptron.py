@@ -242,26 +242,70 @@ class HashedPerceptron:
             theta=np.float64(self.theta),
         )
 
+    #: npz keys a saved model must carry; anything less is a truncated or
+    #: foreign file, not a model
+    _REQUIRED_KEYS = ("version", "weights", "salts", "config", "theta")
+
     @classmethod
     def load(cls, path) -> "HashedPerceptron":
+        """Load a saved model, validating every field before trusting it.
+
+        Corrupt, truncated, or foreign files raise :class:`ModelError` with a
+        specific reason — never a raw ``zipfile``/``pickle``/``KeyError`` —
+        so the artifact loader and serving layer can refuse them cleanly.
+        """
         try:
             with np.load(path) as doc:
+                missing = [k for k in cls._REQUIRED_KEYS if k not in doc.files]
+                if missing:
+                    raise ModelError(f"{path}: model file missing keys {missing}")
                 if int(doc["version"]) != MODEL_VERSION:
-                    raise ModelError(f"unsupported model version {doc['version']}")
+                    raise ModelError(
+                        f"{path}: unsupported model version {int(doc['version'])}, "
+                        f"expected {MODEL_VERSION}"
+                    )
+                config = np.asarray(doc["config"])
+                if config.shape != (6,):
+                    raise ModelError(
+                        f"{path}: config must hold 6 values, got shape {config.shape}"
+                    )
                 n_features, n_tables, table_bits, n_bins, clamp, seed = (
-                    int(v) for v in doc["config"]
+                    int(v) for v in config
                 )
+                if not (1 <= table_bits <= 30):
+                    raise ModelError(f"{path}: implausible table_bits {table_bits}")
+                if not (1 <= n_tables <= 1 << 16):
+                    raise ModelError(f"{path}: implausible n_tables {n_tables}")
+                theta = float(doc["theta"])
+                if not np.isfinite(theta) or theta < 0:
+                    raise ModelError(f"{path}: theta {theta} is not a finite non-negative value")
                 model = cls(
                     n_features,
                     n_tables=n_tables,
                     table_bits=table_bits,
                     n_bins=n_bins,
-                    theta=float(doc["theta"]),
+                    theta=theta,
                     weight_clamp=clamp,
                     seed=seed,
                 )
-                model.weights = doc["weights"].astype(np.int32)
-                model._salts = doc["salts"].astype(np.uint64)
+                weights = np.asarray(doc["weights"])
+                if weights.shape != model.weights.shape:
+                    raise ModelError(
+                        f"{path}: weights shape {weights.shape} does not match "
+                        f"config shape {model.weights.shape}"
+                    )
+                if not np.issubdtype(weights.dtype, np.integer):
+                    raise ModelError(f"{path}: weights dtype {weights.dtype} is not integral")
+                salts = np.asarray(doc["salts"])
+                if salts.shape != (model.n_features,):
+                    raise ModelError(
+                        f"{path}: salts shape {salts.shape} does not match "
+                        f"n_features={model.n_features}"
+                    )
+                if salts.dtype != np.uint64:
+                    raise ModelError(f"{path}: salts dtype {salts.dtype} is not uint64")
+                model.weights = weights.astype(np.int32)
+                model._salts = salts
         except ModelError:
             raise
         except Exception as exc:
@@ -275,17 +319,46 @@ class HashedPerceptron:
 
 
 def ensemble_margins(
-    models, X: np.ndarray, *, batch_size: int | None = None
+    models,
+    X: np.ndarray,
+    *,
+    batch_size: int | None = None,
+    scales=None,
 ) -> np.ndarray:
     """Per-sample margin averaged over ensemble members, each normalized by
-    its own mean magnitude so no member dominates."""
+    its own mean magnitude so no member dominates.
+
+    By default the normalizing magnitude is the mean ``|margin|`` of the
+    batch being scored, which makes the result depend on *what else* is in
+    the batch.  Pass ``scales`` (one positive float per member, e.g. the
+    mean training-set magnitude recorded in a model artifact) to pin the
+    normalization: per-sample margins are then independent of batching, so
+    a serving path that coalesces arbitrary requests into micro-batches is
+    bit-identical to scoring the whole corpus at once.
+    """
     if not models:
         raise ModelError("ensemble is empty")
+    if scales is not None and len(scales) != len(models):
+        raise ModelError(
+            f"got {len(scales)} margin scales for {len(models)} ensemble members"
+        )
     total = np.zeros(np.asarray(X).shape[0], dtype=np.float64)
-    for model in models:
+    for k, model in enumerate(models):
         d = model.decision(X, batch_size=batch_size)
-        total += d / (np.abs(d).mean() + 1e-9)
+        scale = float(scales[k]) if scales is not None else np.abs(d).mean()
+        total += d / (scale + 1e-9)
     return total / len(models)
+
+
+def margin_scales(models, X: np.ndarray, *, batch_size: int | None = None) -> list[float]:
+    """Per-member mean ``|margin|`` over a reference matrix (typically the
+    training set) — the fixed normalization constants stored in a model
+    artifact so serving-time margins do not depend on batch composition."""
+    if not models:
+        raise ModelError("ensemble is empty")
+    return [
+        float(np.abs(model.decision(X, batch_size=batch_size)).mean()) for model in models
+    ]
 
 
 def trace_verdicts(margins: np.ndarray, groups: np.ndarray, n_traces: int) -> np.ndarray:

@@ -18,6 +18,7 @@ training order, gated by the golden-corpus accuracy check.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -29,7 +30,13 @@ from ..faults import FaultPlan
 from ..features import Normalizer, build_dataset
 from ..ingest import load_corpus_pooled
 from ..ingest.retry import RetryPolicy
-from ..model import ensemble_margins, trace_verdicts, train_ensemble
+from ..model import (
+    ArtifactStore,
+    ensemble_margins,
+    margin_scales,
+    trace_verdicts,
+    train_ensemble,
+)
 from ..telemetry import get_logger, log_event, span
 
 logger = get_logger("repro.pipeline")
@@ -68,6 +75,9 @@ class PipelineConfig:
     minibatch_size: int | None = None
     #: ensemble-member training processes; <= 1 trains serially in-process
     train_workers: int = 1
+    #: when set, publish a versioned serving artifact (ensemble + normalizer
+    #: + pinned margin scales) into this store after training
+    artifact_root: str | None = None
 
 
 def _class_key(trace) -> str:
@@ -114,6 +124,17 @@ def run_pipeline(config: PipelineConfig) -> dict:
     quarantine.write(out_dir / "quarantine.json")
     t_ingest = time.monotonic()
     if not results:
+        # the entire corpus was quarantined (or the directory is empty):
+        # refuse loudly instead of training on an empty matrix
+        log_event(
+            logger,
+            "pipeline.empty_corpus",
+            level=logging.ERROR,
+            trace_dir=config.trace_dir,
+            files=n_files,
+            quarantined=len(quarantine),
+            counts=json.dumps(quarantine.counts(), sort_keys=True),
+        )
         raise IngestError(
             f"no decodable traces under {config.trace_dir} "
             f"({n_files} files, {len(quarantine)} quarantined)"
@@ -168,6 +189,30 @@ def run_pipeline(config: PipelineConfig) -> dict:
     models = [m.model for m in members]
     histories = [m.history for m in members]
     t_train = time.monotonic()
+
+    # ---- artifact publish -----------------------------------------------
+    artifact_doc = None
+    if config.artifact_root is not None:
+        scales = margin_scales(models, Xtr, batch_size=config.batch_size)
+        published = ArtifactStore(config.artifact_root).publish(
+            models,
+            normalizer,
+            scales,
+            meta={
+                "trace_dir": config.trace_dir,
+                "seed": config.seed,
+                "epochs": config.epochs,
+                "n_models": n_models,
+                "train_traces": len(train_idx),
+                "train_samples": int(train_mask.sum()),
+            },
+        )
+        artifact_doc = {
+            "root": config.artifact_root,
+            "version": published.version,
+            "n_features": published.manifest["n_features"],
+            "members": published.manifest["n_members"],
+        }
 
     # ---- eval -----------------------------------------------------------
     margins_test = ensemble_margins(models, Xte, batch_size=config.batch_size)
@@ -254,6 +299,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
             "epochs_run": [len(h) for h in histories],
             "updates_per_epoch": histories,
         },
+        "artifact": artifact_doc,
         "metrics": {
             "interval_accuracy": interval_acc,
             "trace_accuracy": (n_correct / n_eval) if n_eval else float("nan"),

@@ -1,4 +1,10 @@
-"""CLI entry point: ``python -m repro.pipeline [options]``."""
+"""CLI entry point: ``python -m repro.pipeline [options]``.
+
+``python -m repro.pipeline save-artifact [options]`` runs the same
+train/eval and then publishes a versioned serving artifact (ensemble
+weights + feature stats + pinned margin scales, sha256 manifest, atomic
+``CURRENT`` pointer) into ``--artifact-root`` for ``repro.serve``.
+"""
 
 from __future__ import annotations
 
@@ -81,12 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
         help='fault injection, e.g. "io=0.2,corrupt=0.25,seed=7" '
         "(REPRO_FAULTS env var is the fallback)",
     )
+    parser.add_argument(
+        "--artifact-root",
+        default=None,
+        metavar="DIR",
+        help="publish a versioned serving artifact into this store after "
+        "training (implied default runs/artifact for the save-artifact "
+        "subcommand)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    save_artifact = bool(argv) and argv[0] == "save-artifact"
+    if save_artifact:
+        argv = argv[1:]
     parser = build_parser()
+    if save_artifact:
+        parser.prog += " save-artifact"
     args = parser.parse_args(argv)
+    if save_artifact and args.artifact_root is None:
+        args.artifact_root = "runs/artifact"
     try:
         faults = FaultPlan.parse(args.faults) if args.faults else FaultPlan.from_env()
     except ValueError as exc:
@@ -111,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
         fit_kernel=args.fit_kernel,
         minibatch_size=args.minibatch_size,
         train_workers=args.train_workers,
+        artifact_root=args.artifact_root,
     )
     try:
         metrics = run_pipeline(config)
@@ -124,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
         "loaded": metrics["ingest"]["loaded"],
         "quarantined": metrics["ingest"]["quarantined"],
     }
+    if metrics.get("artifact"):
+        summary["artifact"] = metrics["artifact"]
     print(json.dumps(summary, indent=2))
     return 0
 

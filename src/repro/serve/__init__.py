@@ -1,0 +1,24 @@
+"""Always-on scoring service.
+
+``python -m repro.serve`` runs an asyncio daemon that loads a versioned,
+integrity-checked model artifact (:mod:`repro.model.artifact`) once and
+scores trace payloads over a newline-delimited-JSON TCP endpoint, with
+HTTP ``/healthz`` / ``/readyz`` / ``/metricsz`` probes on the same port.
+
+Robustness contract:
+
+- one corrupt payload gets a structured error response (and a quarantine
+  record) — it never kills the accept loop or anyone else's request;
+- a bounded request queue applies backpressure: when it is full, requests
+  are shed with an explicit 503-style response instead of queueing forever;
+- per-request deadlines, slow-client read/write timeouts, and a watchdog
+  that recycles a wedged scoring task keep one bad client or batch from
+  wedging the daemon;
+- hot artifact reloads that fail verification fall back to the last good
+  version; SIGTERM drains in-flight requests before exit.
+"""
+
+from .scorer import RequestScorer, ScoreRequest
+from .service import ServeConfig, ScoringService
+
+__all__ = ["RequestScorer", "ScoreRequest", "ServeConfig", "ScoringService"]

@@ -1,0 +1,84 @@
+"""CLI entry point: ``python -m repro.serve --artifact-root runs/artifact``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from .service import ServeConfig, run_service
+
+
+def build_parser() -> argparse.ArgumentParser:
+    defaults = ServeConfig()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Always-on PerSpectron scoring daemon over a versioned model artifact.",
+    )
+    parser.add_argument("--artifact-root", default=defaults.artifact_root)
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument("--port", type=int, default=defaults.port, help="0 picks a free port")
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=defaults.max_queue,
+        help="bounded request queue depth; beyond this, requests are shed with a 503",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=defaults.max_batch,
+        help="requests coalesced into one scoring micro-batch",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=defaults.batch_window_ms,
+        help="how long the batcher waits to fill a micro-batch",
+    )
+    parser.add_argument("--request-timeout", type=float, default=defaults.request_timeout_s)
+    parser.add_argument("--score-timeout", type=float, default=defaults.score_timeout_s)
+    parser.add_argument("--write-timeout", type=float, default=defaults.write_timeout_s)
+    parser.add_argument("--idle-timeout", type=float, default=defaults.idle_timeout_s)
+    parser.add_argument("--decode-timeout", type=float, default=defaults.decode_timeout_s)
+    parser.add_argument(
+        "--reload-poll",
+        type=float,
+        default=defaults.reload_poll_s,
+        help="seconds between artifact CURRENT-pointer polls (0 disables hot reload)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="PATH",
+        help="write refused-payload quarantine manifest here",
+    )
+    parser.add_argument("--batch-size", type=int, default=None, help="rows per scoring chunk")
+    parser.add_argument("--drain-timeout", type=float, default=defaults.drain_timeout_s)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        artifact_root=args.artifact_root,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        request_timeout_s=args.request_timeout,
+        score_timeout_s=args.score_timeout,
+        write_timeout_s=args.write_timeout,
+        idle_timeout_s=args.idle_timeout,
+        decode_timeout_s=args.decode_timeout,
+        reload_poll_s=args.reload_poll,
+        quarantine_path=args.quarantine,
+        batch_size=args.batch_size,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return asyncio.run(run_service(config))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,3 +132,60 @@ def test_cli_faults_flag_round_trip(tmp_path):
     # CLI must not crash with an uncaught exception
     assert rc in (0, 2)
     assert (out / "quarantine.json").exists() or rc == 2
+
+
+def test_fully_quarantined_corpus_exits_nonzero_with_event(
+    tmp_path, caplog, capsys, monkeypatch
+):
+    """Satellite contract: when every file in the corpus is quarantined the
+    CLI exits non-zero and a single clear ERROR event says why."""
+    import logging
+
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for i in range(4):
+        (corpus / f"junk_{i}.pkl").write_bytes(b"\xde\xad\xbe\xef" * 16)
+
+    # the repro telemetry root does not propagate (it owns its own stderr
+    # handler); re-enable propagation so caplog can observe the event
+    monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+    with caplog.at_level(logging.ERROR, logger="repro.pipeline"):
+        rc = cli_main(["--trace-dir", str(corpus), "--out", str(tmp_path / "run")])
+    assert rc == 2
+    events = [
+        r for r in caplog.records if "event=pipeline.empty_corpus" in r.getMessage()
+    ]
+    assert len(events) == 1
+    assert events[0].levelno == logging.ERROR
+    message = events[0].getMessage()
+    assert "files=4" in message and "quarantined=4" in message
+    assert "pipeline failed: [ingest_error]" in capsys.readouterr().err
+
+
+def test_cli_save_artifact_publishes_loadable_store(tmp_path, capsys):
+    from repro.model import ArtifactStore
+
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=4, n_attack=4)
+    root = tmp_path / "artifact"
+    rc = cli_main(
+        [
+            "save-artifact",
+            "--trace-dir", str(corpus),
+            "--out", str(tmp_path / "run"),
+            "--artifact-root", str(root),
+            "--epochs", "5",
+            "--n-models", "2",
+            "--theta", "5",
+        ]
+    )
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["artifact"]["version"].startswith("v0001-")
+
+    store = ArtifactStore(root)
+    assert store.current() == summary["artifact"]["version"]
+    loaded = store.load()
+    assert loaded.n_features == 12
+    assert len(loaded.models) == 2
+    assert len(loaded.scales) == 2

@@ -32,3 +32,42 @@ def test_manifest_records_typed_reasons(tmp_path):
     reloaded = QuarantineManifest.load(path)
     assert reloaded.counts() == manifest.counts()
     assert [e.path for e in reloaded.entries] == [e.path for e in manifest.entries]
+
+
+def test_write_is_atomic(tmp_path, monkeypatch):
+    """A failed write never clobbers the previous manifest and never leaves
+    a temp file behind (tmp + rename, same discipline as the decode cache)."""
+    import repro.ingest.quarantine as q
+
+    real_replace = q.os.replace
+
+    path = tmp_path / "quarantine.json"
+    first = QuarantineManifest(root="/corpus")
+    first.add("/corpus/a.pkl", BadHeader("bad magic"))
+    first.write(path)
+    before = path.read_text()
+    assert [p.name for p in tmp_path.iterdir()] == ["quarantine.json"]
+
+    second = QuarantineManifest(root="/corpus")
+    second.add("/corpus/b.pkl", TruncatedTrace("cut short"))
+
+    def explode(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(q.os, "replace", explode)
+    try:
+        second.write(path)
+    except OSError:
+        pass
+    else:
+        raise AssertionError("write should propagate the OSError")
+    monkeypatch.setattr(q.os, "replace", real_replace)
+
+    # old manifest intact, no .tmp droppings
+    assert path.read_text() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["quarantine.json"]
+
+    # and the retry (replace restored) succeeds over the old file
+    second.write(path)
+    assert json.loads(path.read_text())["total"] == 1
+    assert json.loads(path.read_text())["entries"][0]["path"] == "/corpus/b.pkl"

@@ -1,0 +1,534 @@
+#!/usr/bin/env python3
+"""Load-generator + chaos harness for the ``repro.serve`` scoring daemon.
+
+Spawns the daemon as a real subprocess (the way a supervisor would), waits
+for ``/readyz``, then drives it through phases:
+
+1. **load** — N concurrent NDJSON clients send trace payloads drawn from the
+   corpus and record per-request latency.
+2. **burst** — all clients fire simultaneously against the bounded queue to
+   exercise backpressure; shed (503) responses are counted, not errors.
+3. **chaos** (``--chaos``) — injected corrupt payloads, malformed JSON,
+   truncated writes, stalled clients, a corrupt ``CURRENT`` artifact pointer
+   followed by a good hot swap — all while normal load continues.
+
+Then SIGTERM, drain, and the hard assertions: the daemon exits 0 (zero
+crashes), every well-formed request got a structured response, every
+injected-fault request got a *structured error* (not a hang or a dropped
+daemon), and probes answered throughout.  Results go to ``BENCH_serve.json``
+(p50/p99 latency, throughput, shed/error counts, daemon counters).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serve.py [--artifact-root runs/artifact]
+        [--trace-dir tests/fixtures/golden] [--clients 16] [--requests 40]
+        [--chaos] [--quick] [--json BENCH_serve.json]
+
+The artifact is built from ``--trace-dir`` automatically when the store is
+empty.  Exit status: 0 all assertions hold, 1 an assertion failed, 2
+operator error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import base64
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.model import ArtifactStore  # noqa: E402
+from repro.telemetry import get_logger, log_event  # noqa: E402
+
+logger = get_logger("repro.tools.bench_serve")
+
+BENCH_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# setup
+# ---------------------------------------------------------------------------
+
+
+def ensure_artifact(root: Path, trace_dir: Path, out_dir: Path) -> str:
+    """Build an artifact from the corpus when the store is empty."""
+    store = ArtifactStore(root)
+    current = store.current()
+    if current is not None:
+        return current
+    from repro.pipeline import PipelineConfig, run_pipeline
+
+    log_event(logger, "bench_serve.build_artifact", trace_dir=str(trace_dir))
+    metrics = run_pipeline(
+        PipelineConfig(
+            trace_dir=str(trace_dir),
+            out_dir=str(out_dir / "train"),
+            epochs=8,
+            n_models=2,
+            theta=5.0,
+            artifact_root=str(root),
+        )
+    )
+    return metrics["artifact"]["version"]
+
+
+def load_payloads(trace_dir: Path) -> list[str]:
+    payloads = [
+        base64.b64encode(path.read_bytes()).decode()
+        for path in sorted(trace_dir.glob("*.pkl"))
+    ]
+    if not payloads:
+        raise SystemExit(f"no trace files under {trace_dir}")
+    return payloads
+
+
+def spawn_daemon(args, artifact_root: Path, quarantine: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.serve",
+        "--artifact-root",
+        str(artifact_root),
+        "--port",
+        "0",
+        "--max-queue",
+        str(args.max_queue),
+        "--max-batch",
+        str(args.max_batch),
+        "--batch-window-ms",
+        "2",
+        "--request-timeout",
+        "15",
+        "--idle-timeout",
+        "3",
+        "--reload-poll",
+        "0.2",
+        "--quarantine",
+        str(quarantine),
+    ]
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    try:
+        port = int(json.loads(line)["listening"]["port"])
+    except (ValueError, KeyError, TypeError):
+        proc.kill()
+        raise SystemExit(f"daemon did not announce a port (got {line!r})")
+    return proc, port
+
+
+# ---------------------------------------------------------------------------
+# clients
+# ---------------------------------------------------------------------------
+
+
+async def probe(port: int, target: str) -> tuple[int, dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode())
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(1 << 16), timeout=5)
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, json.loads(body) if body else {}
+
+
+async def wait_ready(port: int, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            status, _ = await probe(port, "/readyz")
+            if status == 200:
+                return
+        except OSError:
+            pass
+        await asyncio.sleep(0.1)
+    raise SystemExit("daemon never became ready")
+
+
+class Tally:
+    """Shared result sink across all client tasks."""
+
+    def __init__(self):
+        self.latencies_ms: list[float] = []
+        self.by_status: dict[int, int] = {}
+        self.unanswered = 0
+        self.fault_structured = 0
+        self.fault_unstructured = 0
+
+    def record(self, response: dict | None, latency_ms: float, *, fault: bool = False) -> None:
+        if response is None:
+            self.unanswered += 1
+            if fault:
+                self.fault_unstructured += 1
+            return
+        status = int(response.get("status", -1))
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        if fault:
+            # a structured answer to an injected fault is exactly what we want
+            if response.get("ok") is False and "error" in response:
+                self.fault_structured += 1
+            else:
+                self.fault_unstructured += 1
+        elif response.get("ok"):
+            self.latencies_ms.append(latency_ms)
+
+
+async def send_one(reader, writer, doc: dict, *, timeout: float = 30.0) -> dict | None:
+    writer.write(json.dumps(doc).encode() + b"\n")
+    await writer.drain()
+    line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    return json.loads(line) if line.strip() else None
+
+
+async def load_client(port: int, payloads: list[str], n: int, tag: str, tally: Tally) -> None:
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    except OSError:
+        tally.unanswered += n
+        return
+    try:
+        for i in range(n):
+            doc = {"id": f"{tag}-{i}", "payload_b64": payloads[i % len(payloads)]}
+            t0 = time.monotonic()
+            try:
+                response = await send_one(reader, writer, doc)
+            except (OSError, asyncio.TimeoutError, ValueError):
+                tally.record(None, 0.0)
+                return
+            tally.record(response, (time.monotonic() - t0) * 1e3)
+    finally:
+        writer.close()
+
+
+async def chaos_corrupt_client(port: int, payloads: list[str], n: int, tag: str, tally: Tally):
+    """Corrupt payloads: truncated codec bytes, garbage base64, bad fields.
+    Every one must come back as a structured error."""
+    blob = base64.b64decode(payloads[0])
+    variants = [
+        {"payload_b64": base64.b64encode(blob[: len(blob) // 3]).decode()},  # truncated
+        {"payload_b64": base64.b64encode(os.urandom(256)).decode()},  # garbage bytes
+        {"payload_b64": "!!!not-base64!!!"},  # invalid encoding
+        {"rows": [[1.0, 2.0], [3.0]]},  # ragged matrix
+        {"rows": []},  # empty
+        {},  # no payload at all
+    ]
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    except OSError:
+        tally.fault_unstructured += n
+        return
+    try:
+        for i in range(n):
+            doc = {"id": f"{tag}-{i}", **variants[i % len(variants)]}
+            try:
+                response = await send_one(reader, writer, doc)
+            except (OSError, asyncio.TimeoutError, ValueError):
+                tally.record(None, 0.0, fault=True)
+                return
+            tally.record(response, 0.0, fault=True)
+    finally:
+        writer.close()
+
+
+async def chaos_malformed_lines(port: int, n: int, tally: Tally):
+    """Non-JSON lines on the scoring port; expect structured 400s."""
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    except OSError:
+        tally.fault_unstructured += n
+        return
+    try:
+        for i in range(n):
+            writer.write(b"}{ totally not json %d\n" % i)
+            await writer.drain()
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=10)
+                tally.record(json.loads(line) if line.strip() else None, 0.0, fault=True)
+            except (OSError, asyncio.TimeoutError, ValueError):
+                tally.record(None, 0.0, fault=True)
+                return
+    finally:
+        writer.close()
+
+
+async def chaos_truncated_write(port: int, payloads: list[str]):
+    """Send half a request line and slam the connection shut."""
+    try:
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+    except OSError:
+        return
+    line = json.dumps({"id": "trunc", "payload_b64": payloads[0]})
+    writer.write(line[: len(line) // 2].encode())  # no newline, half the JSON
+    await writer.drain()
+    writer.close()
+
+
+async def chaos_stalled_client(port: int, hold_s: float):
+    """Open a connection, send a partial line, and stall until the daemon's
+    idle timeout disconnects us."""
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    except OSError:
+        return
+    writer.write(b'{"id": "stall", ')
+    await writer.drain()
+    try:  # the daemon should hang up on us, not the other way around
+        await asyncio.wait_for(reader.read(1), timeout=hold_s)
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        writer.close()
+
+
+async def chaos_artifact_swaps(artifact_root: Path, port: int, results: dict):
+    """Mid-run: first point CURRENT at a version that does not verify (the
+    daemon must keep serving the last good artifact), then publish a real
+    new version (the daemon must hot-swap to it)."""
+    store = ArtifactStore(artifact_root)
+    good = store.current()
+    # -- corrupt swap: pointer to a version directory that is not there
+    (artifact_root / "CURRENT").write_text("v9999-deadbeef\n")
+    await asyncio.sleep(1.0)
+    status, ready = await probe(port, "/readyz")
+    results["ready_during_bad_swap"] = status == 200
+    results["serving_during_bad_swap"] = ready.get("artifact")
+    # -- good swap: republish the same model content as a new version
+    loaded = store.load(good)
+    published = store.publish(
+        loaded.models, loaded.normalizer, loaded.scales, meta={"bench": "hot-swap"}
+    )
+    deadline = time.monotonic() + 10
+    swapped = False
+    while time.monotonic() < deadline:
+        await asyncio.sleep(0.25)
+        status, ready = await probe(port, "/readyz")
+        if status == 200 and ready.get("artifact") == published.version:
+            swapped = True
+            break
+    results["good_swap_version"] = published.version
+    results["hot_swap_observed"] = swapped
+
+
+# ---------------------------------------------------------------------------
+# phases
+# ---------------------------------------------------------------------------
+
+
+async def run_bench(args, port: int, payloads: list[str], artifact_root: Path) -> dict:
+    tally = Tally()
+    chaos_results: dict = {}
+
+    t0 = time.monotonic()
+    # phase 1: steady load
+    await asyncio.gather(
+        *(
+            load_client(port, payloads, args.requests, f"load{c}", tally)
+            for c in range(args.clients)
+        )
+    )
+    load_elapsed = time.monotonic() - t0
+
+    # phase 2: burst against the bounded queue — enough simultaneous
+    # connections to exceed max_queue, so real shedding is exercised
+    burst_t0 = time.monotonic()
+    await asyncio.gather(
+        *(
+            load_client(port, payloads, max(2, args.requests // 4), f"burst{c}", tally)
+            for c in range(max(args.clients * 4, args.max_queue * 2))
+        )
+    )
+    burst_elapsed = time.monotonic() - burst_t0
+
+    if args.chaos:
+        n_faults = max(6, args.requests // 2)
+        chaos_tasks = [
+            chaos_corrupt_client(port, payloads, n_faults, "corrupt", tally),
+            chaos_malformed_lines(port, n_faults, tally),
+            chaos_truncated_write(port, payloads),
+            chaos_truncated_write(port, payloads),
+            chaos_stalled_client(port, hold_s=8.0),
+            chaos_artifact_swaps(artifact_root, port, chaos_results),
+            # normal traffic must keep flowing through all of it
+            load_client(port, payloads, args.requests, "during-chaos", tally),
+        ]
+        await asyncio.gather(*chaos_tasks)
+
+    status, metrics = await probe(port, "/metricsz")
+    chaos_results["metricsz_status"] = status
+    health, _ = await probe(port, "/healthz")
+    chaos_results["healthz_status"] = health
+
+    lat = sorted(tally.latencies_ms)
+
+    def pct(p: float) -> float:
+        return round(lat[min(len(lat) - 1, int(p * len(lat)))], 3) if lat else float("nan")
+
+    n_load = args.clients * args.requests
+    return {
+        "latency_ms": {
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+            "mean": round(sum(lat) / len(lat), 3) if lat else float("nan"),
+            "count": len(lat),
+        },
+        "throughput_rps": round(n_load / load_elapsed, 1) if load_elapsed else 0.0,
+        "load_elapsed_s": round(load_elapsed, 3),
+        "burst_elapsed_s": round(burst_elapsed, 3),
+        "responses_by_status": {str(k): v for k, v in sorted(tally.by_status.items())},
+        "shed": tally.by_status.get(503, 0),
+        "quarantined_responses": tally.by_status.get(422, 0),
+        "unanswered": tally.unanswered,
+        "faults": {
+            "structured": tally.fault_structured,
+            "unstructured": tally.fault_unstructured,
+        },
+        "chaos": chaos_results,
+        "daemon_metrics": metrics,
+    }
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifact-root", default="runs/serve-bench/artifact")
+    parser.add_argument("--trace-dir", default="tests/fixtures/golden")
+    parser.add_argument("--out", default="runs/serve-bench")
+    parser.add_argument("--json", default="BENCH_serve.json")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=40, help="requests per client")
+    parser.add_argument("--max-queue", type=int, default=16)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--chaos", action="store_true", help="inject faults while serving")
+    parser.add_argument("--quick", action="store_true", help="shrink load for a CI smoke run")
+    parser.add_argument(
+        "--check", action="store_true", help="run assertions only; do not write the report"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.clients = min(args.clients, 6)
+        args.requests = min(args.requests, 12)
+        args.max_queue = min(args.max_queue, 16)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifact_root = Path(args.artifact_root)
+    trace_dir = Path(args.trace_dir)
+    try:
+        version = ensure_artifact(artifact_root, trace_dir, out_dir)
+    except ReproError as exc:
+        print(f"cannot build artifact: [{exc.code}] {exc}", file=sys.stderr)
+        return 2
+    payloads = load_payloads(trace_dir)
+
+    proc, port = spawn_daemon(args, artifact_root, out_dir / "serve_quarantine.json")
+    try:
+        asyncio.run(wait_ready(port))
+        results = asyncio.run(run_bench(args, port, payloads, artifact_root))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    stopped_line = proc.stdout.read().strip()
+    daemon_final = {}
+    for line in stopped_line.splitlines():
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if doc.get("stopped"):
+            daemon_final = doc.get("counters", {})
+
+    failures: list[str] = []
+    if proc.returncode != 0:
+        failures.append(f"daemon exited {proc.returncode}, expected 0")
+    if not daemon_final:
+        failures.append("daemon did not report a clean drain summary on stdout")
+    if results["unanswered"]:
+        failures.append(f"{results['unanswered']} well-formed requests went unanswered")
+    if args.chaos:
+        if results["faults"]["unstructured"]:
+            failures.append(
+                f"{results['faults']['unstructured']} injected faults were not "
+                "answered with structured errors"
+            )
+        if results["faults"]["structured"] == 0:
+            failures.append("chaos mode ran but no injected fault was exercised")
+        if not results["chaos"].get("ready_during_bad_swap"):
+            failures.append("daemon lost readiness during the corrupt artifact swap")
+        if not results["chaos"].get("hot_swap_observed"):
+            failures.append("daemon never picked up the good artifact hot swap")
+        if daemon_final and daemon_final.get("reload_failures", 0) < 1:
+            failures.append("corrupt artifact swap was never refused (reload_failures == 0)")
+    if results["chaos"].get("healthz_status") != 200:
+        failures.append("healthz probe failed at end of run")
+    ok_count = results["responses_by_status"].get("200", 0)
+    if ok_count == 0:
+        failures.append("no request was ever scored successfully")
+
+    doc = {
+        "version": BENCH_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "artifact": version,
+        "corpus": str(trace_dir),
+        "config": {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "max_queue": args.max_queue,
+            "max_batch": args.max_batch,
+            "chaos": args.chaos,
+            "quick": args.quick,
+        },
+        "results": results,
+        "daemon_exit_code": proc.returncode,
+        "daemon_counters": daemon_final,
+        "assertions_failed": failures,
+        "crashes": 0 if proc.returncode == 0 else 1,
+    }
+    if not args.check:
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+
+    lat = results["latency_ms"]
+    print(
+        f"served {ok_count} ok / shed {results['shed']} / "
+        f"quarantined {results['quarantined_responses']}  "
+        f"p50 {lat['p50']} ms  p99 {lat['p99']} ms  "
+        f"{results['throughput_rps']} req/s"
+    )
+    if args.chaos:
+        print(
+            f"chaos: {results['faults']['structured']} faults answered structurally, "
+            f"hot_swap={results['chaos'].get('hot_swap_observed')}, "
+            f"reload_failures={daemon_final.get('reload_failures')}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"ASSERTION FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"all serve assertions hold; daemon exited cleanly"
+          + ("" if args.check else f"; report -> {args.json}"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
