@@ -154,3 +154,20 @@ class ScoringWedged(ServeError):
 
     code = "scoring_wedged"
     status = 500
+
+
+# ---------------------------------------------------------------------------
+# generator errors
+# ---------------------------------------------------------------------------
+
+
+class GenError(ReproError):
+    """A synthetic-corpus generation failure."""
+
+    code = "gen_error"
+
+
+class GenSpecError(GenError):
+    """A family spec or generation request is malformed or out of bounds."""
+
+    code = "gen_spec"

@@ -1,0 +1,47 @@
+"""Synthetic attack-trace generation: family profiles + deterministic corpora.
+
+``python -m repro.gen`` materializes sharded corpora of parameterized
+attack/benign traces (Spectre v1/v2/v4, Meltdown, Flush+Reload, Prime+Probe,
+evasive variants, benign hard negatives) through the standard trace codec,
+so generated payloads flow through ingest/cache/features unchanged.
+"""
+
+from .families import (
+    BASELINE,
+    BUILTIN_FAMILIES,
+    FAMILY_REGISTRY,
+    STAT_NAMES,
+    FamilySpec,
+    load_profiles,
+    resolve_families,
+)
+from .generator import (
+    GEN_VERSION,
+    MANIFEST_NAME,
+    GenReport,
+    allocate_counts,
+    encode_synthetic,
+    generate_corpus,
+    shard_relpath,
+    synthesize_trace,
+    trace_key,
+)
+
+__all__ = [
+    "BASELINE",
+    "BUILTIN_FAMILIES",
+    "FAMILY_REGISTRY",
+    "GEN_VERSION",
+    "MANIFEST_NAME",
+    "STAT_NAMES",
+    "FamilySpec",
+    "GenReport",
+    "allocate_counts",
+    "encode_synthetic",
+    "generate_corpus",
+    "load_profiles",
+    "resolve_families",
+    "shard_relpath",
+    "synthesize_trace",
+    "trace_key",
+]

@@ -1,0 +1,81 @@
+"""CLI entry point: ``python -m repro.gen [options]``.
+
+Materializes a sharded synthetic corpus and prints a JSON summary (counts,
+corpus digest).  Regenerating with the same ``--families/--count/--seed`` is
+byte-identical for any ``--workers`` value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import ReproError
+from .families import FAMILY_REGISTRY, load_profiles
+from .generator import generate_corpus
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gen",
+        description="Generate a deterministic synthetic attack/benign trace corpus.",
+    )
+    parser.add_argument("--out", default="runs/gen_corpus", help="corpus output directory")
+    parser.add_argument(
+        "--families",
+        default="all",
+        help='comma-separated family names, or "all" / "attacks" / "benign" '
+        f"(known: {', '.join(FAMILY_REGISTRY)})",
+    )
+    parser.add_argument("--count", type=int, default=1000, help="total traces to generate")
+    parser.add_argument("--seed", type=int, default=7, help="corpus seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="generator worker processes (semantics-free: output is byte-identical)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="JSON",
+        help="family-profile file overlaying/extending the builtin registry",
+    )
+    parser.add_argument(
+        "--list-families",
+        action="store_true",
+        help="print the resolved family registry as JSON and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        registry = load_profiles(args.profile) if args.profile else dict(FAMILY_REGISTRY)
+        if args.list_families:
+            print(
+                json.dumps(
+                    {name: spec.to_dict() for name, spec in registry.items()}, indent=2
+                )
+            )
+            return 0
+        families = [f.strip() for f in args.families.split(",") if f.strip()] or "all"
+        report = generate_corpus(
+            args.out,
+            families=families,
+            count=args.count,
+            seed=args.seed,
+            workers=args.workers,
+            registry=registry,
+        )
+    except ReproError as exc:
+        print(f"generation failed: [{exc.code}] {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(report.describe(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""Family profiles for the synthetic trace generator.
+
+A :class:`FamilySpec` is a *config-driven* description of one attack family
+(or benign workload): which hardware-counter columns its footprint touches,
+how strongly, and how bursty its activity is.  Specs are plain data — they
+can be built from JSON profiles (:func:`load_profiles`) so new families need
+no code — and every numeric knob is a closed ``(lo, hi)`` bound that the
+generator draws from and the property tests assert against.
+
+The built-in registry covers the variants the ML-detection literature keeps
+apart (Spectre v1/v2/v4, Meltdown, Flush+Reload, Prime+Probe), their
+evasive/low-rate forms, and benign workloads chosen as hard negatives
+(pointer chasing looks like cache probing; streaming looks like Flush+Reload
+reload traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GenSpecError
+
+
+#: the synthetic hardware-state schema: one column per counter, per interval.
+#: Chosen to mirror the gem5 stat groups the real corpus exposes (memory
+#: controller, cache hierarchy, TLBs, speculation) at a width small enough
+#: to keep 100k-trace corpora cheap.
+STAT_NAMES: tuple[str, ...] = (
+    "cpu.ipc",
+    "cpu.branchPred.lookups",
+    "cpu.branchPred.mispredicts",
+    "cpu.squashedInsts",
+    "cpu.memOrderViolations",
+    "cpu.specLoads",
+    "icache.overallMisses",
+    "dcache.overallAccesses",
+    "dcache.overallMisses",
+    "dcache.replacements",
+    "dcache.writebacks",
+    "l2.overallAccesses",
+    "l2.overallMisses",
+    "l2.evictions",
+    "llc.overallAccesses",
+    "llc.overallMisses",
+    "llc.evictions",
+    "dtb.misses",
+    "itb.misses",
+    "lsq.loadToUseAvg",
+    "mem.readReqs",
+    "mem.writeReqs",
+    "mem.rowMisses",
+    "mem.busUtil",
+)
+
+_STAT_INDEX = {name: i for i, name in enumerate(STAT_NAMES)}
+
+#: per-column benign baseline mean; the quiet machine every family perturbs
+BASELINE: dict[str, float] = {
+    "cpu.ipc": 1.4,
+    "cpu.branchPred.lookups": 180.0,
+    "cpu.branchPred.mispredicts": 6.0,
+    "cpu.squashedInsts": 40.0,
+    "cpu.memOrderViolations": 0.5,
+    "cpu.specLoads": 90.0,
+    "icache.overallMisses": 3.0,
+    "dcache.overallAccesses": 300.0,
+    "dcache.overallMisses": 12.0,
+    "dcache.replacements": 10.0,
+    "dcache.writebacks": 5.0,
+    "l2.overallAccesses": 25.0,
+    "l2.overallMisses": 6.0,
+    "l2.evictions": 5.0,
+    "llc.overallAccesses": 8.0,
+    "llc.overallMisses": 2.0,
+    "llc.evictions": 1.5,
+    "dtb.misses": 1.0,
+    "itb.misses": 0.4,
+    "lsq.loadToUseAvg": 9.0,
+    "mem.readReqs": 4.0,
+    "mem.writeReqs": 2.0,
+    "mem.rowMisses": 1.0,
+    "mem.busUtil": 6.0,
+}
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One generatable family: label, footprint, and bounded knobs.
+
+    ``signature`` maps stat names to the per-unit-amplitude delta the family
+    adds during attack bursts; ``baseline_shift`` drifts the quiet-phase mean
+    (benign workloads are *only* a shift).  All ``(lo, hi)`` pairs are closed
+    bounds the generator samples uniformly from — the property suite asserts
+    every generated trace lands inside them.
+    """
+
+    name: str
+    label: int  # +1 attack, -1 benign
+    intervals: tuple[int, int] = (8, 24)
+    #: fraction of intervals carrying the attack signature
+    burst_frac: tuple[float, float] = (0.4, 0.8)
+    #: signature scale drawn per trace; evasive variants sit well below 1.0
+    amplitude: tuple[float, float] = (0.8, 1.4)
+    #: per-column bursty footprint, units of the column baseline
+    signature: dict[str, float] = field(default_factory=dict)
+    #: per-column always-on drift (workload character, not attack activity)
+    baseline_shift: dict[str, float] = field(default_factory=dict)
+    #: gaussian noise scale, units of sqrt(baseline)
+    noise: float = 1.0
+
+    @property
+    def is_attack(self) -> bool:
+        return self.label > 0
+
+    @property
+    def attack_class(self) -> str | None:
+        return self.name if self.is_attack else None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise GenSpecError(f"bad family name {self.name!r}")
+        if self.label not in (-1, 1):
+            raise GenSpecError(f"{self.name}: label must be -1 or +1, got {self.label}")
+        lo, hi = self.intervals
+        if not (1 <= lo <= hi <= 10_000):
+            raise GenSpecError(f"{self.name}: intervals bounds {self.intervals} invalid")
+        for knob, (klo, khi) in (("burst_frac", self.burst_frac), ("amplitude", self.amplitude)):
+            if not (0.0 <= klo <= khi):
+                raise GenSpecError(f"{self.name}: {knob} bounds ({klo}, {khi}) invalid")
+        if self.burst_frac[1] > 1.0:
+            raise GenSpecError(f"{self.name}: burst_frac upper bound exceeds 1.0")
+        if not (0.0 < self.noise <= 10.0):
+            raise GenSpecError(f"{self.name}: noise {self.noise} outside (0, 10]")
+        for which, cols in (("signature", self.signature), ("baseline_shift", self.baseline_shift)):
+            for col in cols:
+                if col not in _STAT_INDEX:
+                    raise GenSpecError(f"{self.name}: {which} column {col!r} not in STAT_NAMES")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "label": self.label,
+            "intervals": list(self.intervals),
+            "burst_frac": list(self.burst_frac),
+            "amplitude": list(self.amplitude),
+            "signature": dict(self.signature),
+            "baseline_shift": dict(self.baseline_shift),
+            "noise": self.noise,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FamilySpec":
+        if not isinstance(doc, dict):
+            raise GenSpecError(f"family spec must be a dict, got {type(doc).__name__}")
+        known = {
+            "name",
+            "label",
+            "intervals",
+            "burst_frac",
+            "amplitude",
+            "signature",
+            "baseline_shift",
+            "noise",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise GenSpecError(f"unknown family spec fields {sorted(unknown)}")
+        try:
+            kwargs = dict(doc)
+            for pair in ("intervals", "burst_frac", "amplitude"):
+                if pair in kwargs:
+                    lo, hi = kwargs[pair]
+                    kwargs[pair] = (lo, hi)
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise GenSpecError(f"malformed family spec: {exc}") from exc
+
+
+def _evasive(spec: FamilySpec) -> FamilySpec:
+    """Low-rate variant: same footprint, stretched thin in time and amplitude."""
+    return FamilySpec(
+        name=f"evasive_{spec.name}",
+        label=spec.label,
+        intervals=(max(spec.intervals[0], 16), max(spec.intervals[1], 48)),
+        burst_frac=(0.03, 0.12),
+        amplitude=(0.25, 0.5),
+        signature=dict(spec.signature),
+        baseline_shift=dict(spec.baseline_shift),
+        noise=spec.noise,
+    )
+
+
+_SPECTRE_V1 = FamilySpec(
+    name="spectre_v1",
+    label=1,
+    signature={
+        "cpu.branchPred.mispredicts": 6.0,
+        "cpu.squashedInsts": 4.0,
+        "cpu.specLoads": 2.5,
+        "dcache.overallMisses": 2.0,
+        "llc.overallMisses": 3.0,
+        "cpu.ipc": -0.3,
+    },
+)
+
+_FLUSH_RELOAD = FamilySpec(
+    name="flush_reload",
+    label=1,
+    signature={
+        "llc.overallMisses": 8.0,
+        "llc.overallAccesses": 4.0,
+        "dcache.replacements": 3.0,
+        "mem.readReqs": 4.0,
+        "mem.rowMisses": 3.0,
+        "lsq.loadToUseAvg": 1.5,
+    },
+)
+
+BUILTIN_FAMILIES: tuple[FamilySpec, ...] = (
+    # -- attacks ---------------------------------------------------------
+    _SPECTRE_V1,
+    FamilySpec(
+        name="spectre_v2",
+        label=1,
+        signature={
+            "cpu.branchPred.lookups": 3.0,
+            "cpu.branchPred.mispredicts": 9.0,
+            "icache.overallMisses": 4.0,
+            "itb.misses": 5.0,
+            "cpu.squashedInsts": 3.0,
+            "cpu.ipc": -0.4,
+        },
+    ),
+    FamilySpec(
+        name="spectre_v4",
+        label=1,
+        signature={
+            "cpu.memOrderViolations": 12.0,
+            "lsq.loadToUseAvg": 2.5,
+            "cpu.squashedInsts": 5.0,
+            "cpu.specLoads": 2.0,
+            "dcache.writebacks": 2.0,
+        },
+    ),
+    FamilySpec(
+        name="meltdown",
+        label=1,
+        burst_frac=(0.5, 0.9),
+        signature={
+            "cpu.squashedInsts": 8.0,
+            "dtb.misses": 10.0,
+            "llc.overallMisses": 4.0,
+            "cpu.specLoads": 3.0,
+            "cpu.ipc": -0.6,
+            "l2.overallMisses": 2.5,
+        },
+    ),
+    _FLUSH_RELOAD,
+    FamilySpec(
+        name="prime_probe",
+        label=1,
+        signature={
+            "l2.overallAccesses": 5.0,
+            "l2.overallMisses": 4.0,
+            "l2.evictions": 6.0,
+            "llc.evictions": 5.0,
+            "dcache.overallAccesses": 1.5,
+            "mem.busUtil": 2.0,
+        },
+    ),
+    _evasive(_SPECTRE_V1),
+    _evasive(_FLUSH_RELOAD),
+    # -- benign workloads ------------------------------------------------
+    FamilySpec(
+        name="benign_compute",
+        label=-1,
+        burst_frac=(0.0, 0.0),
+        amplitude=(0.0, 0.0),
+        baseline_shift={"cpu.ipc": 0.6, "cpu.branchPred.lookups": 0.4},
+    ),
+    FamilySpec(
+        name="benign_stream",
+        label=-1,
+        burst_frac=(0.3, 0.7),
+        amplitude=(0.6, 1.2),
+        # hard negative for flush_reload: bursts of heavy memory read
+        # traffic, but without the miss/eviction churn of a probe loop
+        signature={
+            "mem.readReqs": 2.5,
+            "mem.busUtil": 2.0,
+            "llc.overallAccesses": 2.0,
+            "dcache.overallAccesses": 1.2,
+        },
+        baseline_shift={"mem.writeReqs": 0.8},
+    ),
+    FamilySpec(
+        name="benign_pointer_chase",
+        label=-1,
+        burst_frac=(0.3, 0.7),
+        amplitude=(0.5, 1.0),
+        # hard negative for prime_probe: miss-heavy, latency-bound phases
+        signature={
+            "dcache.overallMisses": 1.8,
+            "dtb.misses": 1.5,
+            "lsq.loadToUseAvg": 1.2,
+            "cpu.ipc": -0.4,
+        },
+    ),
+    FamilySpec(
+        name="benign_branchy",
+        label=-1,
+        burst_frac=(0.3, 0.7),
+        amplitude=(0.5, 1.0),
+        # hard negative for spectre: mispredict-prone control-flow phases
+        signature={
+            "cpu.branchPred.lookups": 1.5,
+            "cpu.branchPred.mispredicts": 2.5,
+            "cpu.squashedInsts": 1.2,
+        },
+    ),
+)
+
+FAMILY_REGISTRY: dict[str, FamilySpec] = {spec.name: spec for spec in BUILTIN_FAMILIES}
+
+
+def resolve_families(names, *, registry: dict[str, FamilySpec] | None = None) -> list[FamilySpec]:
+    """Resolve a family selection to specs, preserving registry order.
+
+    ``names`` is an iterable of family names, or the strings ``"all"`` /
+    ``"attacks"`` / ``"benign"``.
+    """
+    registry = registry if registry is not None else FAMILY_REGISTRY
+    if isinstance(names, str):
+        names = [names]
+    names = list(names)
+    if names in (["all"], []):
+        return list(registry.values())
+    if names == ["attacks"]:
+        return [s for s in registry.values() if s.is_attack]
+    if names == ["benign"]:
+        return [s for s in registry.values() if not s.is_attack]
+    specs = []
+    for name in names:
+        if name not in registry:
+            raise GenSpecError(
+                f"unknown family {name!r}; known: {', '.join(sorted(registry))}"
+            )
+        specs.append(registry[name])
+    return specs
+
+
+def load_profiles(path) -> dict[str, FamilySpec]:
+    """Load a JSON profile file: ``{"families": [spec, ...]}``.
+
+    Returns the builtin registry overlaid with the file's families (same
+    name replaces the builtin), so profiles can tweak one family or define
+    a whole new corpus recipe.
+    """
+    import json
+    from pathlib import Path
+
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise GenSpecError(f"cannot load family profiles from {path}: {exc}") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("families"), list):
+        raise GenSpecError(f"{path}: profile file must be {{'families': [...]}}")
+    registry = dict(FAMILY_REGISTRY)
+    for spec_doc in doc["families"]:
+        spec = FamilySpec.from_dict(spec_doc)
+        registry[spec.name] = spec
+    return registry

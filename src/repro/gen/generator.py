@@ -1,0 +1,307 @@
+"""Seed-deterministic synthesis of attack/benign traces and sharded corpora.
+
+Determinism contract (pinned by ``tests/test_gen_properties.py``):
+
+- Every random draw for trace ``i`` of family ``f`` under corpus seed ``s``
+  comes from a Philox counter stream keyed by
+  ``sha256("repro.gen/<GEN_VERSION>|seed=<s>|family=<f>|index=<i>")``.
+  ``random_raw`` is the raw Philox-4x64 block output — a fixed published
+  algorithm, stable across numpy versions and platforms (unlike
+  ``Generator.normal`` etc., whose streams numpy does not pin).
+- Raw 64-bit words become uniforms via ``(u >> 11) * 2**-53`` and
+  gaussian-ish noise via an Irwin–Hall sum of 12 uniforms — add/mul only,
+  so results are bit-identical everywhere IEEE-754 holds.
+- A trace's bytes therefore depend only on ``(spec, corpus seed, index)``:
+  regenerating a corpus with any ``--workers`` value is byte-identical.
+
+Corpus layout: ``<out>/shard_<hh>/<family>_<index>_<hash12>.pkl`` where
+``hh``/``hash12`` come from the sha256 of the encoded payload, so files
+spread uniformly over 256 shards and the content-addressed decode cache
+stays balanced.  ``MANIFEST.json`` records counts, per-family digests, and
+a corpus digest — all derived from payload hashes, never from wall-clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GenSpecError
+from ..sim.trace import TRACE_VERSION, Trace, encode_trace
+from ..telemetry import get_logger, log_event
+from .families import BASELINE, STAT_NAMES, FamilySpec, resolve_families
+
+logger = get_logger("repro.gen")
+
+#: bump when the synthesis math or trace layout changes; part of every
+#: stream key, so old and new corpora can never silently mix
+GEN_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+#: synthetic traces carry this interval length (samples per stat window)
+INTERVAL_TICKS = 10_000
+
+_BASELINE_VEC = np.array([BASELINE[name] for name in STAT_NAMES], dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# deterministic randomness
+# ---------------------------------------------------------------------------
+
+
+def trace_key(seed: int, family: str, index: int) -> bytes:
+    """The 32-byte stream key for one trace; sole source of its randomness."""
+    tag = f"repro.gen/{GEN_VERSION}|seed={seed}|family={family}|index={index}"
+    return hashlib.sha256(tag.encode("ascii")).digest()
+
+
+class _Stream:
+    """Uniform/gauss draws off one Philox raw stream (see module docstring)."""
+
+    def __init__(self, key: bytes):
+        philox_key = np.frombuffer(key[:16], dtype=np.uint64)  # Philox-4x64 takes a 2-word key
+        self._bits = np.random.Philox(key=philox_key)
+
+    def uniforms(self, n: int) -> np.ndarray:
+        raw = self._bits.random_raw(n)
+        return (raw >> np.uint64(11)) * (2.0**-53)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return float(lo + (hi - lo) * self.uniforms(1)[0])
+
+    def integer(self, lo: int, hi: int) -> int:
+        """Inclusive-bounds integer draw."""
+        span = hi - lo + 1
+        return lo + min(int(self.uniforms(1)[0] * span), span - 1)
+
+    def gauss(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Irwin–Hall(12) - 6: mean 0, variance 1, support [-6, 6]."""
+        n = int(np.prod(shape))
+        u = self.uniforms(12 * n).reshape(n, 12)
+        return (u.sum(axis=1) - 6.0).reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# single-trace synthesis
+# ---------------------------------------------------------------------------
+
+
+def synthesize_trace(spec: FamilySpec, seed: int, index: int) -> Trace:
+    """Deterministically synthesize trace ``index`` of ``spec``.
+
+    Row model per interval: ``baseline * (1 + shift) + burst * amplitude *
+    signature * baseline + noise * sqrt(baseline) * gauss``, clipped at zero
+    (counters cannot go negative).
+    """
+    stream = _Stream(trace_key(seed, spec.name, index))
+    n_intervals = stream.integer(*spec.intervals)
+    burst_frac = stream.uniform(*spec.burst_frac)
+    amplitude = stream.uniform(*spec.amplitude)
+
+    n_cols = len(STAT_NAMES)
+    rows = np.tile(_BASELINE_VEC, (n_intervals, 1))
+    for col, shift in spec.baseline_shift.items():
+        rows[:, STAT_NAMES.index(col)] += shift * BASELINE[col]
+
+    burst = (stream.uniforms(n_intervals) < burst_frac).astype(np.float64)
+    if spec.signature and amplitude > 0.0:
+        delta = np.zeros(n_cols, dtype=np.float64)
+        for col, weight in spec.signature.items():
+            delta[STAT_NAMES.index(col)] = weight * BASELINE[col]
+        rows += amplitude * burst[:, None] * delta[None, :]
+
+    rows += spec.noise * np.sqrt(_BASELINE_VEC)[None, :] * stream.gauss((n_intervals, n_cols))
+    np.clip(rows, 0.0, None, out=rows)
+
+    return Trace(
+        program=spec.name,
+        label=spec.label,
+        attack_class=spec.attack_class,
+        interval=INTERVAL_TICKS,
+        rows=rows,
+        stat_names=list(STAT_NAMES),
+        meta={
+            "family": spec.name,
+            "gen_version": GEN_VERSION,
+            "seed": seed,
+            "index": index,
+            "burst_intervals": int(burst.sum()),
+        },
+    )
+
+
+def encode_synthetic(spec: FamilySpec, seed: int, index: int) -> tuple[bytes, str]:
+    """Synthesize + encode one trace; returns ``(payload, sha256 hex)``."""
+    payload = encode_trace(synthesize_trace(spec, seed, index))
+    return payload, hashlib.sha256(payload).hexdigest()
+
+
+def shard_relpath(family: str, index: int, digest: str) -> Path:
+    """Payload-hash-sharded corpus-relative path for one trace file."""
+    return Path(f"shard_{digest[:2]}") / f"{family}_{index:06d}_{digest[:12]}.pkl"
+
+
+# ---------------------------------------------------------------------------
+# corpus generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GenReport:
+    """What one corpus generation produced."""
+
+    out_dir: str
+    seed: int
+    count: int
+    families: dict[str, int]
+    corpus_digest: str
+    family_digests: dict[str, str] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def describe(self) -> dict:
+        return {
+            "out_dir": self.out_dir,
+            "seed": self.seed,
+            "count": self.count,
+            "families": dict(self.families),
+            "corpus_digest": self.corpus_digest,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def allocate_counts(specs: list[FamilySpec], count: int) -> dict[str, int]:
+    """Deterministically split ``count`` traces across families: equal shares,
+    remainder to the earliest families in registry order."""
+    if count < 1:
+        raise GenSpecError(f"count must be >= 1, got {count}")
+    if not specs:
+        raise GenSpecError("no families selected")
+    base, extra = divmod(count, len(specs))
+    return {spec.name: base + (1 if i < extra else 0) for i, spec in enumerate(specs)}
+
+
+def _emit_one(args: tuple[dict, int, int, str]) -> tuple[str, int, str]:
+    """Worker task: synthesize, encode, and write one trace file.
+
+    Returns ``(family, index, digest)``.  Spec travels as its dict form so
+    the task tuple pickles cheaply and identically everywhere.
+    """
+    spec_doc, seed, index, out_dir = args
+    spec = FamilySpec.from_dict(spec_doc)
+    payload, digest = encode_synthetic(spec, seed, index)
+    path = Path(out_dir) / shard_relpath(spec.name, index, digest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_bytes(payload)
+    tmp.replace(path)
+    return spec.name, index, digest
+
+
+def generate_corpus(
+    out_dir,
+    *,
+    families="all",
+    count: int = 1000,
+    seed: int = 7,
+    workers: int = 1,
+    registry: dict[str, FamilySpec] | None = None,
+) -> GenReport:
+    """Materialize a sharded synthetic corpus under ``out_dir``.
+
+    Byte-identical for a fixed ``(families, count, seed)`` regardless of
+    ``workers``; re-running over an existing corpus rewrites the same bytes.
+    """
+    import time
+
+    t0 = time.monotonic()
+    specs = resolve_families(families, registry=registry)
+    counts = allocate_counts(specs, count)
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+
+    tasks = [
+        (spec.to_dict(), seed, index, str(out_path))
+        for spec in specs
+        for index in range(counts[spec.name])
+    ]
+    log_event(
+        logger,
+        "gen.start",
+        out=str(out_path),
+        families=len(specs),
+        count=count,
+        seed=seed,
+        workers=workers,
+    )
+
+    digests: dict[tuple[str, int], str] = {}
+    if workers <= 1 or len(tasks) < 2:
+        for task in tasks:
+            family, index, digest = _emit_one(task)
+            digests[(family, index)] = digest
+    else:
+        n_workers = max(1, min(workers, len(tasks)))
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            chunksize = max(1, len(tasks) // (n_workers * 8))
+            for family, index, digest in executor.map(_emit_one, tasks, chunksize=chunksize):
+                digests[(family, index)] = digest
+
+    family_digests: dict[str, str] = {}
+    for spec in specs:
+        h = hashlib.sha256()
+        for index in range(counts[spec.name]):
+            h.update(bytes.fromhex(digests[(spec.name, index)]))
+        family_digests[spec.name] = h.hexdigest()
+    corpus_h = hashlib.sha256()
+    for spec in specs:
+        corpus_h.update(bytes.fromhex(family_digests[spec.name]))
+    corpus_digest = corpus_h.hexdigest()
+
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "gen_version": GEN_VERSION,
+        "trace_version": TRACE_VERSION,
+        "seed": seed,
+        "count": count,
+        "stat_names": list(STAT_NAMES),
+        "families": {
+            spec.name: {
+                "count": counts[spec.name],
+                "label": spec.label,
+                "digest": family_digests[spec.name],
+                "spec": spec.to_dict(),
+            }
+            for spec in specs
+        },
+        "corpus_digest": corpus_digest,
+    }
+    manifest_path = out_path / MANIFEST_NAME
+    tmp = manifest_path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(manifest_path)
+
+    report = GenReport(
+        out_dir=str(out_path),
+        seed=seed,
+        count=count,
+        families=counts,
+        corpus_digest=corpus_digest,
+        family_digests=family_digests,
+        elapsed_s=time.monotonic() - t0,
+    )
+    log_event(
+        logger,
+        "gen.done",
+        out=str(out_path),
+        count=count,
+        digest=corpus_digest[:12],
+        elapsed=f"{report.elapsed_s:.3f}",
+    )
+    return report

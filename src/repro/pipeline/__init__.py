@@ -41,12 +41,16 @@ from ..telemetry import get_logger, log_event, span
 
 logger = get_logger("repro.pipeline")
 
-METRICS_VERSION = 2
+METRICS_VERSION = 3
 
 
 @dataclass
 class PipelineConfig:
     trace_dir: str = ".trace_cache"
+    #: corpus file glob, relative to ``trace_dir``; the recursive default
+    #: picks up both flat corpora and the payload-hash-sharded layout
+    #: ``repro.gen`` writes (``shard_xx/*.pkl``)
+    pattern: str = "**/*.pkl"
     out_dir: str = "runs/latest"
     test_frac: float = 0.3
     epochs: int = 20
@@ -86,6 +90,79 @@ def _class_key(trace) -> str:
     return f"benign:{trace.program}"
 
 
+def _family_key(trace) -> str:
+    """Attack-family label for per-family evaluation.
+
+    Attacks group by ``attack_class`` (the generator stamps the family name
+    there; the real corpus carries its capture class), benign traces by
+    workload program — both survive the salvage decoder, unlike ``meta``.
+    """
+    if trace.is_attack:
+        return trace.attack_class or trace.program
+    return trace.program
+
+
+def _margin_stats(margins: np.ndarray) -> dict:
+    """Distribution summary of per-trace mean margins, JSON-exact floats."""
+    margins = np.asarray(margins, dtype=np.float64)
+    if margins.size == 0:
+        return {"mean": None, "std": None, "min": None, "p25": None, "p50": None, "p75": None, "max": None}
+    p25, p50, p75 = (float(v) for v in np.percentile(margins, [25.0, 50.0, 75.0]))
+    return {
+        "mean": float(margins.mean()),
+        "std": float(margins.std()),
+        "min": float(margins.min()),
+        "p25": p25,
+        "p50": p50,
+        "p75": p75,
+        "max": float(margins.max()),
+    }
+
+
+def per_family_metrics(
+    traces, test_idx, verdicts: np.ndarray, truth: np.ndarray, trace_margins: np.ndarray
+) -> dict[str, dict]:
+    """Per-family accuracy / false-positive-or-miss rate / margin
+    distributions over the held-out traces.
+
+    Families come from :func:`_family_key`; benign families report
+    ``false_positive_rate`` (flagged-as-attack fraction), attack families
+    ``miss_rate`` (1 - recall).  ``margins`` summarizes the per-trace mean
+    ensemble margin — the detector's confidence — for that family's test
+    traces.
+    """
+    cells: dict[str, dict] = {}
+    members: dict[str, list[int]] = {}
+    for t in sorted(int(i) for i in test_idx):
+        trace = traces[t]
+        key = _family_key(trace)
+        cell = cells.setdefault(
+            key,
+            {"kind": "attack" if trace.is_attack else "benign", "tested": 0, "correct": 0},
+        )
+        cell["tested"] += 1
+        cell["correct"] += int(verdicts[t] == truth[t])
+        members.setdefault(key, []).append(t)
+    out: dict[str, dict] = {}
+    for key in sorted(cells):
+        cell = cells[key]
+        accuracy = cell["correct"] / cell["tested"]
+        error = 1.0 - accuracy
+        doc = {
+            "kind": cell["kind"],
+            "tested": cell["tested"],
+            "correct": cell["correct"],
+            "accuracy": accuracy,
+            "margins": _margin_stats(trace_margins[members[key]]),
+        }
+        if cell["kind"] == "benign":
+            doc["false_positive_rate"] = error
+        else:
+            doc["miss_rate"] = error
+        out[key] = doc
+    return out
+
+
 def split_traces(traces, test_frac: float, seed: int) -> tuple[np.ndarray, np.ndarray]:
     """Stratified per-class trace split; classes with a single trace stay in
     train.  Returns (train_idx, test_idx)."""
@@ -112,10 +189,11 @@ def run_pipeline(config: PipelineConfig) -> dict:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     # ---- ingest ---------------------------------------------------------
-    n_files = len(sorted(Path(config.trace_dir).glob("*.pkl")))
+    n_files = len(sorted(Path(config.trace_dir).glob(config.pattern)))
     results, quarantine = load_corpus_pooled(
         config.trace_dir,
         workers=config.workers,
+        pattern=config.pattern,
         retry_policy=config.retry_policy,
         decode_timeout_s=config.decode_timeout_s,
         faults=config.faults,
@@ -224,6 +302,12 @@ def run_pipeline(config: PipelineConfig) -> dict:
     )
     verdicts = trace_verdicts(margins_all, dataset.groups, len(dataset.traces))
     truth = dataset.trace_labels()
+    margin_sums = np.bincount(dataset.groups, weights=margins_all, minlength=len(dataset.traces))
+    margin_counts = np.bincount(dataset.groups, minlength=len(dataset.traces))
+    trace_margins = np.divide(
+        margin_sums, margin_counts, out=np.zeros_like(margin_sums), where=margin_counts > 0
+    )
+    per_family = per_family_metrics(dataset.traces, test_idx, verdicts, truth, trace_margins)
 
     test_set = set(test_idx.tolist())
     per_class: dict[str, dict] = {}
@@ -271,6 +355,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
         },
         "config": {
             "trace_dir": config.trace_dir,
+            "pattern": config.pattern,
             "test_frac": config.test_frac,
             "epochs": config.epochs,
             "seed": config.seed,
@@ -306,6 +391,8 @@ def run_pipeline(config: PipelineConfig) -> dict:
             "benign_false_positive_rate": (benign_fp / benign_total) if benign_total else 0.0,
             "attack_recall": attack_recall,
             "per_class": per_class,
+            "families": len(per_family),
+            "per_family": per_family,
         },
     }
     (out_dir / "metrics.json").write_text(json.dumps(metrics, indent=2) + "\n")

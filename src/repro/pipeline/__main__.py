@@ -145,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
         "out": config.out_dir,
         "trace_accuracy": metrics["metrics"]["trace_accuracy"],
         "benign_false_positive_rate": metrics["metrics"]["benign_false_positive_rate"],
+        "families": metrics["metrics"]["families"],
         "loaded": metrics["ingest"]["loaded"],
         "quarantined": metrics["ingest"]["quarantined"],
     }

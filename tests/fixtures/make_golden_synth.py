@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""(Re)generate the golden *synthetic* corpus and its expected metrics.
+
+Materializes a small all-families corpus under
+``tests/fixtures/golden_synth/corpus`` with ``repro.gen`` (sharded layout,
+MANIFEST.json) and records the seed-stable subset of the pipeline's
+``metrics.json`` — including the per-family accuracy/FPR/margin breakdown —
+in ``expected_metrics.json``.  ``tests/test_golden_synth_regression.py``
+asserts two things forever after:
+
+1. regenerating the corpus is *byte-identical* (the generator's stream
+   contract, GEN_VERSION, held across platforms and numpy versions), and
+2. the pipeline keeps reproducing the recorded per-family metrics exactly.
+
+Run from the repository root after an *intentional* generator or pipeline
+behavior change::
+
+    PYTHONPATH=src python tests/fixtures/make_golden_synth.py
+
+and commit the diff (corpus files, MANIFEST.json, expected_metrics.json).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent / "src"))
+
+from repro.gen import generate_corpus  # noqa: E402
+from repro.pipeline import PipelineConfig, run_pipeline  # noqa: E402
+
+GOLDEN_SYNTH_DIR = HERE / "golden_synth"
+CORPUS_DIR = GOLDEN_SYNTH_DIR / "corpus"
+
+#: generator knobs the corpus bytes are pinned to
+GEN_CONFIG = {"families": "all", "count": 36, "seed": 11}
+
+#: pipeline knobs the expectations are pinned to; the regression test
+#: reuses these verbatim
+GOLDEN_CONFIG = {
+    "test_frac": 0.3,
+    "epochs": 8,
+    "seed": 7,
+    "n_models": 2,
+    "theta": 5.0,
+}
+
+#: metrics.json subsections that are deterministic for a fixed seed
+STABLE_KEYS = ("ingest", "dataset", "training", "metrics")
+
+
+def expected_metrics(corpus: Path) -> dict:
+    with tempfile.TemporaryDirectory() as out:
+        metrics = run_pipeline(
+            PipelineConfig(trace_dir=str(corpus), out_dir=out, **GOLDEN_CONFIG)
+        )
+    return {key: metrics[key] for key in STABLE_KEYS}
+
+
+def main() -> int:
+    shutil.rmtree(CORPUS_DIR, ignore_errors=True)
+    report = generate_corpus(CORPUS_DIR, **GEN_CONFIG)
+    expected = expected_metrics(CORPUS_DIR)
+    expected["corpus_digest"] = report.corpus_digest
+    out_path = GOLDEN_SYNTH_DIR / "expected_metrics.json"
+    out_path.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {report.count} traces (digest {report.corpus_digest[:12]}) and "
+        f"{out_path.relative_to(HERE.parent.parent)}"
+    )
+    summary = {
+        family: {
+            "kind": doc["kind"],
+            "accuracy": doc["accuracy"],
+            "rate": doc.get("false_positive_rate", doc.get("miss_rate")),
+        }
+        for family, doc in expected["metrics"]["per_family"].items()
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

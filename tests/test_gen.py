@@ -1,0 +1,182 @@
+"""Generator integration tests: corpus layout, worker invariance, profiles,
+CLI, and the generated-corpus -> pipeline end-to-end path."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import GenSpecError
+from repro.gen import (
+    FAMILY_REGISTRY,
+    MANIFEST_NAME,
+    FamilySpec,
+    allocate_counts,
+    generate_corpus,
+    load_profiles,
+    resolve_families,
+    shard_relpath,
+)
+from repro.gen.__main__ import main as gen_main
+from repro.pipeline import PipelineConfig, run_pipeline
+
+
+def _tree_digest(root: Path) -> dict[str, str]:
+    """Relative path -> sha256 for every file under ``root``."""
+    return {
+        str(p.relative_to(root)): hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+@pytest.fixture(scope="module")
+def small_corpus(tmp_path_factory) -> tuple[Path, dict]:
+    out = tmp_path_factory.mktemp("genc") / "corpus"
+    report = generate_corpus(out, families="all", count=36, seed=13)
+    return out, report.describe()
+
+
+class TestCorpusLayout:
+    def test_manifest_matches_files(self, small_corpus):
+        out, report = small_corpus
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        assert manifest["corpus_digest"] == report["corpus_digest"]
+        assert sum(f["count"] for f in manifest["families"].values()) == 36
+        assert len(list(out.rglob("*.pkl"))) == 36
+
+    def test_files_shard_by_payload_hash(self, small_corpus):
+        out, _ = small_corpus
+        for path in out.rglob("*.pkl"):
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            assert path.parent.name == f"shard_{digest[:2]}"
+            assert path.name.endswith(f"_{digest[:12]}.pkl")
+            family, index = path.name.rsplit("_", 2)[0], int(path.name.rsplit("_", 2)[1])
+            assert shard_relpath(family, index, digest) == path.relative_to(out)
+
+    def test_every_builtin_family_is_present(self, small_corpus):
+        out, report = small_corpus
+        assert set(report["families"]) == set(FAMILY_REGISTRY)
+        attacks = [n for n, s in FAMILY_REGISTRY.items() if s.is_attack]
+        assert len(attacks) >= 6
+
+
+class TestDeterminism:
+    def test_worker_count_is_byte_identical(self, tmp_path, small_corpus):
+        baseline_dir, _ = small_corpus
+        pooled = tmp_path / "pooled"
+        generate_corpus(pooled, families="all", count=36, seed=13, workers=4)
+        assert _tree_digest(pooled) == _tree_digest(baseline_dir)
+
+    def test_regeneration_in_place_is_idempotent(self, tmp_path):
+        out = tmp_path / "corpus"
+        first = generate_corpus(out, families=["spectre_v1"], count=4, seed=3)
+        before = _tree_digest(out)
+        second = generate_corpus(out, families=["spectre_v1"], count=4, seed=3)
+        assert first.corpus_digest == second.corpus_digest
+        assert _tree_digest(out) == before
+
+    def test_different_seed_changes_every_payload(self, tmp_path):
+        a = generate_corpus(tmp_path / "a", families=["meltdown"], count=3, seed=1)
+        b = generate_corpus(tmp_path / "b", families=["meltdown"], count=3, seed=2)
+        assert a.corpus_digest != b.corpus_digest
+        assert not set(_tree_digest(tmp_path / "a")) & set(
+            k for k in _tree_digest(tmp_path / "b") if k.endswith(".pkl")
+        )
+
+
+class TestSelection:
+    def test_allocate_counts_spreads_remainder_deterministically(self):
+        specs = resolve_families("all")
+        counts = allocate_counts(specs, 27)
+        assert sum(counts.values()) == 27
+        assert max(counts.values()) - min(counts.values()) <= 1
+        assert counts == allocate_counts(specs, 27)
+
+    def test_selection_keywords(self):
+        assert {s.name for s in resolve_families("attacks")} == {
+            n for n, s in FAMILY_REGISTRY.items() if s.is_attack
+        }
+        assert all(not s.is_attack for s in resolve_families("benign"))
+        assert [s.name for s in resolve_families(["meltdown", "benign_stream"])] == [
+            "meltdown",
+            "benign_stream",
+        ]
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(GenSpecError):
+            resolve_families(["rowhammer"])
+        with pytest.raises(GenSpecError):
+            allocate_counts(resolve_families("all"), 0)
+
+
+class TestProfiles:
+    def test_profile_overlays_registry(self, tmp_path):
+        profile = tmp_path / "prof.json"
+        custom = FamilySpec(
+            name="rowhammer_like",
+            label=1,
+            signature={"mem.rowMisses": 9.0, "mem.busUtil": 3.0},
+        )
+        profile.write_text(json.dumps({"families": [custom.to_dict()]}))
+        registry = load_profiles(profile)
+        assert "rowhammer_like" in registry and "spectre_v1" in registry
+        report = generate_corpus(
+            tmp_path / "c", families=["rowhammer_like"], count=2, seed=5, registry=registry
+        )
+        assert report.families == {"rowhammer_like": 2}
+
+    def test_malformed_profile_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"families": [{"name": "x", "label": 7}]}))
+        with pytest.raises(GenSpecError):
+            load_profiles(bad)
+        with pytest.raises(GenSpecError):
+            load_profiles(tmp_path / "missing.json")
+
+
+class TestEndToEnd:
+    def test_pipeline_trains_on_sharded_corpus(self, tmp_path, small_corpus):
+        corpus, _ = small_corpus
+        metrics = run_pipeline(
+            PipelineConfig(
+                trace_dir=str(corpus),
+                out_dir=str(tmp_path / "run"),
+                epochs=6,
+                n_models=2,
+                seed=7,
+            )
+        )
+        assert metrics["ingest"]["loaded"] == 36
+        assert metrics["ingest"]["quarantined"] == 0
+        per_family = metrics["metrics"]["per_family"]
+        assert metrics["metrics"]["families"] == len(per_family) >= 6
+        attack_families = [k for k, v in per_family.items() if v["kind"] == "attack"]
+        assert len(attack_families) >= 6
+        for doc in per_family.values():
+            assert doc["tested"] >= 1
+            assert 0.0 <= doc["accuracy"] <= 1.0
+            assert doc["margins"]["min"] <= doc["margins"]["p50"] <= doc["margins"]["max"]
+            assert ("false_positive_rate" in doc) == (doc["kind"] == "benign")
+            assert ("miss_rate" in doc) == (doc["kind"] == "attack")
+
+    def test_cli_generates_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "cli_corpus"
+        rc = gen_main(["--out", str(out), "--families", "spectre_v1,benign_compute",
+                       "--count", "4", "--seed", "9"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 4 and (out / MANIFEST_NAME).exists()
+
+    def test_cli_rejects_unknown_family(self, tmp_path, capsys):
+        rc = gen_main(["--out", str(tmp_path / "x"), "--families", "nope", "--count", "2"])
+        assert rc == 2
+        assert "gen_spec" in capsys.readouterr().err
+
+    def test_cli_list_families(self, capsys):
+        assert gen_main(["--list-families"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "spectre_v4" in doc and doc["spectre_v4"]["label"] == 1

@@ -1,0 +1,92 @@
+"""Fault-matrix coverage for *generated* corpora: across a {0%, 25%} x
+{io, corruption} grid over a sharded ``repro.gen`` corpus, ``--workers 4``
+must produce the same ``metrics.json`` — including the per-family breakdown
+— and the same quarantine manifest as ``--workers 1``.
+
+This extends ``tests/test_fault_matrix.py`` (which pins the hand-built
+golden corpus) to the synthetic path: shard subdirectories, generator
+payloads through the salvage decoder under corruption, and per-family
+metrics must all stay invariant under ingest parallelism.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import IngestError
+from repro.faults import FaultPlan
+from repro.gen import generate_corpus
+from repro.ingest import RetryPolicy
+from repro.pipeline import PipelineConfig, run_pipeline
+
+FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.002, jitter=0.0)
+
+#: volatile metrics.json fields: wall-clock, never semantics
+_VOLATILE = ("created", "elapsed_s", "timings")
+
+GRID = [
+    pytest.param(None, id="clean"),
+    pytest.param(FaultPlan(io_rate=0.25, seed=23), id="io-25"),
+    pytest.param(FaultPlan(corrupt_rate=0.25, seed=23), id="corrupt-25"),
+]
+
+
+@pytest.fixture(scope="module")
+def gen_corpus(tmp_path_factory) -> Path:
+    out = tmp_path_factory.mktemp("gen_fault") / "corpus"
+    generate_corpus(out, families="all", count=24, seed=29)
+    return out
+
+
+def _run(corpus: Path, out_dir: Path, workers: int, faults: FaultPlan | None):
+    config = PipelineConfig(
+        trace_dir=str(corpus),
+        out_dir=str(out_dir),
+        epochs=4,
+        seed=7,
+        n_models=1,
+        theta=5.0,
+        workers=workers,
+        retry_policy=FAST_RETRY,
+        faults=faults,
+    )
+    try:
+        run_pipeline(config)
+    except IngestError:
+        # a grid cell may quarantine the whole corpus; both worker counts
+        # must then fail identically, with identical manifests
+        pass
+    metrics = None
+    if (out_dir / "metrics.json").exists():
+        metrics = json.loads((out_dir / "metrics.json").read_text())
+        for key in _VOLATILE:
+            metrics.pop(key, None)
+    quarantine = json.loads((out_dir / "quarantine.json").read_text())
+    quarantine.pop("created", None)
+    return metrics, quarantine
+
+
+@pytest.mark.parametrize("faults", GRID)
+def test_worker_count_is_semantics_free_on_generated_corpus(tmp_path, gen_corpus, faults):
+    serial_metrics, serial_quarantine = _run(gen_corpus, tmp_path / "w1", 1, faults)
+    pooled_metrics, pooled_quarantine = _run(gen_corpus, tmp_path / "w4", 4, faults)
+    assert pooled_quarantine == serial_quarantine
+    assert pooled_metrics == serial_metrics
+    if faults is None:
+        assert serial_metrics["ingest"]["quarantined"] == 0
+        assert serial_metrics["metrics"]["families"] >= 6
+
+
+def test_fault_grid_exercises_per_family_path(tmp_path, gen_corpus):
+    """The 25% corruption cell must still produce a per-family breakdown
+    (salvage keeps most traces alive) and must actually degrade something."""
+    metrics, quarantine = _run(
+        gen_corpus, tmp_path / "run", 1, FaultPlan(corrupt_rate=0.25, seed=23)
+    )
+    assert metrics is not None, "corruption cell unexpectedly quarantined everything"
+    touched = metrics["ingest"]["quarantined"] + metrics["ingest"]["degraded"]
+    assert touched > 0, "25% corruption grid cell injected nothing; matrix is vacuous"
+    assert metrics["metrics"]["per_family"], "per-family metrics missing under faults"

@@ -1,0 +1,85 @@
+"""Golden synthetic regression: the checked-in ``repro.gen`` corpus must
+regenerate byte-for-byte, and the pipeline over it must keep reproducing the
+recorded per-family metrics exactly.
+
+The byte-identity half pins the generator's stream contract (GEN_VERSION):
+any change to the synthesis math, family profiles, codec, or shard layout
+shows up as a digest mismatch.  The metrics half pins the whole
+generate -> ingest -> featurize -> train -> per-family-eval path.  If a
+change is *intentional*, regenerate with ``PYTHONPATH=src python
+tests/fixtures/make_golden_synth.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.gen import MANIFEST_NAME, generate_corpus
+from repro.pipeline import PipelineConfig, run_pipeline
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+GOLDEN_SYNTH = FIXTURES / "golden_synth"
+CORPUS = GOLDEN_SYNTH / "corpus"
+
+_spec = importlib.util.spec_from_file_location(
+    "make_golden_synth", FIXTURES / "make_golden_synth.py"
+)
+make_golden_synth = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(make_golden_synth)
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict:
+    path = GOLDEN_SYNTH / "expected_metrics.json"
+    if not path.exists():
+        pytest.skip("golden synthetic fixtures not generated in this checkout")
+    return json.loads(path.read_text())
+
+
+def _tree_digest(root: Path) -> dict[str, str]:
+    return {
+        str(p.relative_to(root)): hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _actual(out_dir, **overrides) -> dict:
+    config = PipelineConfig(
+        trace_dir=str(CORPUS),
+        out_dir=str(out_dir),
+        **{**make_golden_synth.GOLDEN_CONFIG, **overrides},
+    )
+    metrics = run_pipeline(config)
+    return json.loads(json.dumps({k: metrics[k] for k in make_golden_synth.STABLE_KEYS}))
+
+
+def test_corpus_regenerates_byte_identically(tmp_path, expected):
+    report = generate_corpus(tmp_path / "regen", **make_golden_synth.GEN_CONFIG)
+    assert report.corpus_digest == expected["corpus_digest"]
+    assert _tree_digest(tmp_path / "regen") == _tree_digest(CORPUS)
+
+
+def test_manifest_digest_matches_expected(expected):
+    manifest = json.loads((CORPUS / MANIFEST_NAME).read_text())
+    assert manifest["corpus_digest"] == expected["corpus_digest"]
+    assert sum(f["count"] for f in manifest["families"].values()) == len(
+        list(CORPUS.rglob("*.pkl"))
+    )
+
+
+def test_pipeline_reproduces_per_family_metrics(tmp_path, expected):
+    actual = _actual(tmp_path / "run")
+    assert actual == {k: expected[k] for k in make_golden_synth.STABLE_KEYS}
+    per_family = actual["metrics"]["per_family"]
+    assert len([k for k, v in per_family.items() if v["kind"] == "attack"]) >= 6
+
+
+def test_per_family_metrics_unchanged_by_workers(tmp_path, expected):
+    actual = _actual(tmp_path / "run", workers=4)
+    assert actual == {k: expected[k] for k in make_golden_synth.STABLE_KEYS}

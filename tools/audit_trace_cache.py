@@ -35,7 +35,7 @@ def _class_key(trace) -> str:
 
 
 def audit(trace_dir: Path, decode_timeout_s: float) -> dict:
-    files = sorted(trace_dir.glob("*.pkl"))
+    files = sorted(trace_dir.glob("**/*.pkl"))
     classes: dict[str, dict] = {}
     failures: list[dict] = []
     degraded = 0

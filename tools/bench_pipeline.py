@@ -27,11 +27,16 @@ parallelism, and the online kernel change wall-clock only), and
 Usage::
 
     PYTHONPATH=src python tools/bench_pipeline.py [--trace-dir .trace_cache]
+        [--corpus DIR | --corpus gen:COUNT[:families=F1,F2][:seed=N]]
         [--workers 4] [--epochs 20] [--n-models 5] [--out runs/bench]
         [--json BENCH_pipeline.json] [--quick] [--check]
 
-``--quick`` shrinks epochs/models for a fast CI smoke run; ``--check``
-verifies the consistency rules without writing the report.
+``--corpus`` benches an arbitrary corpus instead of the fixed 168-file set:
+pass a directory (flat or ``repro.gen``-sharded), or a ``gen:`` spec that
+materializes a deterministic synthetic corpus under ``--out`` first (e.g.
+``gen:2000:families=attacks:seed=11``).  ``--quick`` shrinks epochs/models
+for a fast CI smoke run; ``--check`` verifies the consistency rules without
+writing the report.
 
 Exit status: 0 on success, 1 when the runs disagree on detection metrics,
 2 on operator error.
@@ -117,9 +122,55 @@ def _ratio(a: float, b: float) -> float:
     return round(a / b, 2) if b > 0 else float("inf")
 
 
+def _resolve_corpus(args, out_root: Path) -> str:
+    """Apply ``--corpus``: a directory overrides ``--trace-dir``; a
+    ``gen:COUNT[:families=...][:seed=N]`` spec materializes a deterministic
+    synthetic corpus under ``--out`` first."""
+    if args.corpus is None:
+        return args.trace_dir
+    if not args.corpus.startswith("gen:"):
+        return args.corpus
+    from repro.gen import generate_corpus
+
+    parts = args.corpus.split(":")[1:]
+    if not parts or not parts[0].isdigit():
+        raise ValueError(f"bad --corpus spec {args.corpus!r}: want gen:COUNT[...]")
+    count = int(parts[0])
+    families: object = "all"
+    seed = args.seed
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        if key == "families" and value:
+            families = [f for f in value.split(",") if f]
+        elif key == "seed" and value:
+            seed = int(value)
+        else:
+            raise ValueError(f"bad --corpus option {part!r}")
+    dest = out_root / "gen_corpus"
+    report = generate_corpus(
+        dest, families=families, count=count, seed=seed, workers=args.workers
+    )
+    log_event(
+        logger,
+        "bench.gen_corpus",
+        out=str(dest),
+        count=report.count,
+        digest=report.corpus_digest[:12],
+        elapsed=f"{report.elapsed_s:.2f}",
+    )
+    return str(dest)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace-dir", default=".trace_cache")
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR|gen:SPEC",
+        help="bench this corpus instead of --trace-dir: a directory, or "
+        '"gen:COUNT[:families=F1,F2][:seed=N]" to generate one first',
+    )
     parser.add_argument("--out", default="runs/bench", help="scratch directory for run outputs")
     parser.add_argument("--json", default="BENCH_pipeline.json", help="benchmark report path")
     parser.add_argument("--workers", type=int, default=4)
@@ -150,13 +201,18 @@ def main(argv: list[str] | None = None) -> int:
         args.n_models = min(args.n_models, 2)
         args.workers = min(args.workers, 2)
 
+    out_root = Path(args.out)
+    try:
+        args.trace_dir = _resolve_corpus(args, out_root)
+    except (ValueError, ReproError) as exc:
+        print(f"bad --corpus: {exc}", file=sys.stderr)
+        return 2
     corpus = Path(args.trace_dir)
-    n_files = len(sorted(corpus.glob("*.pkl")))
+    n_files = len(sorted(corpus.glob("**/*.pkl")))
     if n_files == 0:
         print(f"no trace files under {corpus}", file=sys.stderr)
         return 2
 
-    out_root = Path(args.out)
     cache_a = out_root / "cache_serial"
     cache_b = out_root / "cache_parallel"
     for cache in (cache_a, cache_b):

@@ -84,7 +84,7 @@ def ensure_artifact(root: Path, trace_dir: Path, out_dir: Path) -> str:
 def load_payloads(trace_dir: Path) -> list[str]:
     payloads = [
         base64.b64encode(path.read_bytes()).decode()
-        for path in sorted(trace_dir.glob("*.pkl"))
+        for path in sorted(trace_dir.glob("**/*.pkl"))
     ]
     if not payloads:
         raise SystemExit(f"no trace files under {trace_dir}")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate a ``metrics.json`` on per-family detection quality.
+
+Reads the per-family breakdown the pipeline writes and asserts it against
+pinned tolerances: minimum family coverage, minimum per-attack-family
+accuracy, and maximum per-benign-family false-positive rate.  CI's
+``gen-smoke`` job runs this against a freshly generated corpus so a
+detector or generator regression that sinks one family — while the overall
+scalar still looks fine — fails loudly, per family, by name.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_family_metrics.py runs/gen/metrics.json
+        [--min-families 6] [--min-attack-accuracy 0.8] [--max-benign-fpr 0.4]
+
+Exit status: 0 when every family is within tolerance, 1 with violations
+listed on stderr, 2 on operator error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(metrics: dict, args) -> list[str]:
+    per_family = metrics.get("metrics", {}).get("per_family")
+    if not isinstance(per_family, dict) or not per_family:
+        return ["metrics.json has no metrics.per_family section (pipeline too old?)"]
+    violations = []
+    attacks = {k: v for k, v in per_family.items() if v["kind"] == "attack"}
+    if len(attacks) < args.min_families:
+        violations.append(
+            f"only {len(attacks)} attack families evaluated, need >= {args.min_families}"
+        )
+    for family in sorted(per_family):
+        doc = per_family[family]
+        if doc["tested"] < args.min_tested:
+            violations.append(
+                f"{family}: only {doc['tested']} test traces, need >= {args.min_tested}"
+            )
+        if doc["kind"] == "attack" and doc["accuracy"] < args.min_attack_accuracy:
+            violations.append(
+                f"{family}: attack accuracy {doc['accuracy']:.3f} "
+                f"< {args.min_attack_accuracy}"
+            )
+        if doc["kind"] == "benign" and doc["false_positive_rate"] > args.max_benign_fpr:
+            violations.append(
+                f"{family}: benign FPR {doc['false_positive_rate']:.3f} "
+                f"> {args.max_benign_fpr}"
+            )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", help="path to a pipeline metrics.json")
+    parser.add_argument("--min-families", type=int, default=6)
+    parser.add_argument("--min-attack-accuracy", type=float, default=0.8)
+    parser.add_argument("--max-benign-fpr", type=float, default=0.4)
+    parser.add_argument("--min-tested", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    try:
+        metrics = json.loads(Path(args.metrics).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.metrics}: {exc}", file=sys.stderr)
+        return 2
+
+    per_family = metrics.get("metrics", {}).get("per_family", {})
+    width = max((len(k) for k in per_family), default=10)
+    for family in sorted(per_family):
+        doc = per_family[family]
+        rate = doc.get("false_positive_rate", doc.get("miss_rate", 0.0))
+        print(
+            f"{family:<{width}}  {doc['kind']:<6}  tested={doc['tested']:<4d}"
+            f"  accuracy={doc['accuracy']:.3f}  err_rate={rate:.3f}"
+            f"  margin_p50={doc['margins']['p50']:+.3f}"
+        )
+
+    violations = check(metrics, args)
+    if violations:
+        for line in violations:
+            print(f"TOLERANCE VIOLATION: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"all {len(per_family)} families within tolerances "
+        f"(attack accuracy >= {args.min_attack_accuracy}, "
+        f"benign FPR <= {args.max_benign_fpr})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
