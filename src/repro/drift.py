@@ -1,0 +1,473 @@
+"""Windowed drift detection over served margins and labeled feedback.
+
+The serving daemon scores traffic with a frozen artifact; this module is the
+instrument that notices when the traffic stops looking like what that
+artifact was trained on.  A :class:`DriftMonitor` ingests one event per
+scored trace — the per-trace ensemble margin, plus the true label when an
+operator (or the replay harness) supplies feedback — and evaluates fixed-size
+windows against a **reference window** frozen right after the current model
+went live:
+
+- **PSI** (population stability index) of the margin distribution against
+  the reference histogram.  Bin edges are reference-margin deciles, so the
+  statistic is scale-free and robust to the margin units changing between
+  models.
+- **Margin mean shift** in reference-standard-deviation units.
+- **Rolling accuracy** over labeled feedback (only when the window holds at
+  least ``min_feedback`` labeled events — sparse labels never fire a
+  verdict on noise).
+- **Per-family false-positive rate** for benign families with enough
+  labeled traffic, so one workload turning "attack-looking" is attributed,
+  not averaged away.
+
+A window that trips any threshold produces a drift verdict: the window's
+raw statistics (and its labeled events) are quarantined to disk for offline
+triage, a WARNING telemetry event is emitted, and the report is handed to
+whoever is listening — in the serving daemon, the retrain supervisor.  A
+rolling accuracy below the (lower) ``rollback_floor`` additionally raises
+the rollback signal: the live model itself is bad, not just stale.
+
+The monitor is intentionally synchronous and allocation-light: the daemon
+calls it from the event-loop thread after every scored batch.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .errors import DriftError
+from .telemetry import get_logger, log_event
+
+logger = get_logger("repro.drift")
+
+#: bump when the quarantine-record schema changes
+DRIFT_RECORD_VERSION = 1
+
+
+@dataclass
+class DriftConfig:
+    """Thresholds for the windowed drift verdicts.
+
+    ``window`` counts *scored traces*; a window evaluates when it fills.
+    Thresholds are deliberately conservative defaults — the replay bench is
+    the place they are tuned against injected shifts.
+    """
+
+    #: scored traces per evaluation window (<= 0 disables the monitor)
+    window: int = 200
+    #: labeled events a window needs before accuracy-based verdicts fire
+    min_feedback: int = 20
+    #: PSI of the margin distribution vs the reference above this is drift
+    psi_threshold: float = 0.25
+    #: |margin mean shift| in reference-std units above this is drift
+    margin_sigma: float = 3.0
+    #: rolling feedback accuracy below this is drift (model is stale)
+    accuracy_floor: float = 0.75
+    #: rolling feedback accuracy below this raises the rollback signal
+    #: (model is actively bad, not just stale)
+    rollback_floor: float = 0.5
+    #: benign-family FPR above this (with enough labels) is drift
+    family_fpr: float = 0.5
+    #: labeled events a single family needs for its FPR to count
+    min_family: int = 8
+    #: windows to stay quiet after a verdict, so one long degradation is one
+    #: verdict + one quarantine record, not a verdict per window
+    cooldown_windows: int = 2
+    #: histogram bins for the PSI statistic (reference-decile edges)
+    psi_bins: int = 10
+    #: where suspect windows are written (None = telemetry only)
+    quarantine_dir: str | None = None
+
+    def validate(self) -> "DriftConfig":
+        if self.window < 0:
+            raise DriftError(f"window must be >= 0, got {self.window}")
+        if self.min_feedback < 1:
+            raise DriftError(f"min_feedback must be >= 1, got {self.min_feedback}")
+        if not (0.0 <= self.rollback_floor <= self.accuracy_floor <= 1.0):
+            raise DriftError(
+                "need 0 <= rollback_floor <= accuracy_floor <= 1, got "
+                f"{self.rollback_floor} / {self.accuracy_floor}"
+            )
+        if self.psi_threshold <= 0 or self.margin_sigma <= 0:
+            raise DriftError("psi_threshold and margin_sigma must be positive")
+        if self.psi_bins < 2:
+            raise DriftError(f"psi_bins must be >= 2, got {self.psi_bins}")
+        return self
+
+
+@dataclass
+class Reference:
+    """Frozen margin distribution of the first window after a model goes
+    live: the 'normal' every later window is compared against."""
+
+    mean: float
+    std: float
+    edges: np.ndarray  # (psi_bins + 1,) histogram edges, outer bins open
+    probs: np.ndarray  # (psi_bins,) reference bin probabilities
+    frozen_at_window: int = 0
+
+
+@dataclass
+class DriftReport:
+    """What one completed window looked like, and whether it drifted."""
+
+    window: int
+    scored: int
+    labeled: int
+    drifted: bool
+    rollback: bool
+    reasons: list[str]
+    psi: float | None
+    margin_mean: float
+    margin_std: float
+    ref_mean: float | None
+    ref_std: float | None
+    rolling_accuracy: float | None
+    per_family: dict[str, dict] = field(default_factory=dict)
+    quarantined_to: str | None = None
+
+    def describe(self) -> dict:
+        return {
+            "window": self.window,
+            "scored": self.scored,
+            "labeled": self.labeled,
+            "drifted": self.drifted,
+            "rollback": self.rollback,
+            "reasons": list(self.reasons),
+            "psi": self.psi,
+            "margin_mean": self.margin_mean,
+            "margin_std": self.margin_std,
+            "ref_mean": self.ref_mean,
+            "ref_std": self.ref_std,
+            "rolling_accuracy": self.rolling_accuracy,
+            "per_family": self.per_family,
+            "quarantined_to": self.quarantined_to,
+        }
+
+
+def psi(ref_probs: np.ndarray, cur_probs: np.ndarray) -> float:
+    """Population stability index between two binned distributions.
+
+    Both inputs are probability vectors over the same bins; zero cells are
+    smoothed so a bin emptying out contributes a large-but-finite term
+    instead of an infinity.
+    """
+    ref = np.asarray(ref_probs, dtype=np.float64)
+    cur = np.asarray(cur_probs, dtype=np.float64)
+    if ref.shape != cur.shape:
+        raise DriftError(f"PSI bin shapes disagree: {ref.shape} vs {cur.shape}")
+    eps = 1e-4
+    ref = np.clip(ref, eps, None)
+    cur = np.clip(cur, eps, None)
+    ref = ref / ref.sum()
+    cur = cur / cur.sum()
+    return float(((cur - ref) * np.log(cur / ref)).sum())
+
+
+def _decile_edges(margins: np.ndarray, n_bins: int) -> np.ndarray:
+    """Reference-quantile histogram edges with open outer bins.  Degenerate
+    (near-constant) references collapse to whatever unique edges exist —
+    PSI still works, just with fewer effective bins."""
+    qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    inner = np.unique(np.quantile(margins, qs))
+    return np.concatenate(([-np.inf], inner, [np.inf]))
+
+
+class DriftMonitor:
+    """Accumulates per-trace scoring events and evaluates full windows.
+
+    Call :meth:`observe` once per scored trace and :meth:`maybe_evaluate`
+    afterwards; it returns a :class:`DriftReport` exactly when a window
+    completed, ``None`` otherwise.  The first completed window after
+    construction (or :meth:`reset`) freezes the reference and never yields
+    a verdict — a freshly promoted model defines its own normal.
+    """
+
+    def __init__(self, config: DriftConfig | None = None):
+        self.config = (config or DriftConfig()).validate()
+        self.reference: Reference | None = None
+        self._margins: list[float] = []
+        self._feedback: list[tuple[str | None, int, int]] = []  # (family, label, verdict)
+        self._window_index = 0
+        self._cooldown = 0
+        # counters for /metricsz
+        self.scored_total = 0
+        self.feedback_total = 0
+        self.windows_evaluated = 0
+        self.drift_verdicts = 0
+        self.rollback_signals = 0
+        self.quarantined_windows = 0
+        self.last_report: DriftReport | None = None
+
+    # -- ingestion -------------------------------------------------------
+
+    def observe(
+        self,
+        margin: float,
+        verdict: int,
+        *,
+        label: int | None = None,
+        family: str | None = None,
+    ) -> None:
+        """Record one scored trace; ``label`` (±1) marks labeled feedback."""
+        if self.config.window <= 0:
+            return
+        self.scored_total += 1
+        self._margins.append(float(margin))
+        if label is not None:
+            if label not in (-1, 1):
+                raise DriftError(f"feedback label must be -1 or +1, got {label!r}")
+            self.feedback_total += 1
+            self._feedback.append((family, int(label), int(verdict)))
+
+    # -- evaluation ------------------------------------------------------
+
+    def window_fill(self) -> int:
+        return len(self._margins)
+
+    def maybe_evaluate(self) -> DriftReport | None:
+        """Evaluate and clear the current window if it is full."""
+        if self.config.window <= 0 or len(self._margins) < self.config.window:
+            return None
+        return self._evaluate()
+
+    def _evaluate(self) -> DriftReport:
+        cfg = self.config
+        margins = np.asarray(self._margins, dtype=np.float64)
+        feedback = list(self._feedback)
+        window = self._window_index
+        self._margins = []
+        self._feedback = []
+        self._window_index += 1
+        self.windows_evaluated += 1
+
+        mean = float(margins.mean())
+        std = float(margins.std())
+
+        if self.reference is None:
+            edges = _decile_edges(margins, cfg.psi_bins)
+            counts, _ = np.histogram(margins, bins=edges)
+            self.reference = Reference(
+                mean=mean,
+                std=std,
+                edges=edges,
+                probs=counts / max(counts.sum(), 1),
+                frozen_at_window=window,
+            )
+            log_event(
+                logger,
+                "drift.reference",
+                window=window,
+                mean=f"{mean:.4f}",
+                std=f"{std:.4f}",
+                bins=len(edges) - 1,
+            )
+            report = DriftReport(
+                window=window,
+                scored=len(margins),
+                labeled=len(feedback),
+                drifted=False,
+                rollback=False,
+                reasons=[],
+                psi=None,
+                margin_mean=mean,
+                margin_std=std,
+                ref_mean=None,
+                ref_std=None,
+                rolling_accuracy=self._accuracy(feedback),
+            )
+            self.last_report = report
+            return report
+
+        ref = self.reference
+        reasons: list[str] = []
+        counts, _ = np.histogram(margins, bins=ref.edges)
+        psi_value = psi(ref.probs, counts / max(counts.sum(), 1))
+        if psi_value > cfg.psi_threshold:
+            reasons.append(f"psi={psi_value:.3f}>{cfg.psi_threshold}")
+        shift = abs(mean - ref.mean) / max(ref.std, 1e-9)
+        if shift > cfg.margin_sigma:
+            reasons.append(f"margin_shift={shift:.2f}sigma>{cfg.margin_sigma}")
+
+        accuracy = self._accuracy(feedback) if len(feedback) >= cfg.min_feedback else None
+        if accuracy is not None and accuracy < cfg.accuracy_floor:
+            reasons.append(f"accuracy={accuracy:.3f}<{cfg.accuracy_floor}")
+        rollback = accuracy is not None and accuracy < cfg.rollback_floor
+
+        per_family = self._per_family(feedback)
+        for fam, cell in sorted(per_family.items()):
+            fpr = cell.get("false_positive_rate")
+            if (
+                fpr is not None
+                and cell["labeled"] >= cfg.min_family
+                and fpr > cfg.family_fpr
+            ):
+                reasons.append(f"family_fpr:{fam}={fpr:.2f}>{cfg.family_fpr}")
+
+        cooling = self._cooldown > 0
+        if cooling:
+            self._cooldown -= 1
+        drifted = bool(reasons) and not cooling
+        report = DriftReport(
+            window=window,
+            scored=len(margins),
+            labeled=len(feedback),
+            drifted=drifted,
+            rollback=rollback,
+            reasons=reasons,
+            psi=psi_value,
+            margin_mean=mean,
+            margin_std=std,
+            ref_mean=ref.mean,
+            ref_std=ref.std,
+            rolling_accuracy=accuracy,
+            per_family=per_family,
+        )
+        if drifted:
+            self.drift_verdicts += 1
+            self._cooldown = cfg.cooldown_windows
+            report.quarantined_to = self._quarantine(report, margins, feedback)
+            log_event(
+                logger,
+                "drift.verdict",
+                level=logging.WARNING,
+                window=window,
+                reasons=";".join(reasons),
+                psi=f"{psi_value:.3f}",
+                accuracy="-" if accuracy is None else f"{accuracy:.3f}",
+                quarantined=report.quarantined_to or "-",
+            )
+        else:
+            log_event(
+                logger,
+                "drift.window",
+                level=logging.DEBUG,
+                window=window,
+                psi=f"{psi_value:.3f}",
+                mean=f"{mean:.3f}",
+                accuracy="-" if accuracy is None else f"{accuracy:.3f}",
+                suppressed=";".join(reasons) if reasons else "-",
+            )
+        if rollback:
+            self.rollback_signals += 1
+            log_event(
+                logger,
+                "drift.rollback_signal",
+                level=logging.WARNING,
+                window=window,
+                accuracy=f"{accuracy:.3f}",
+                floor=cfg.rollback_floor,
+            )
+        self.last_report = report
+        return report
+
+    @staticmethod
+    def _accuracy(feedback: list[tuple[str | None, int, int]]) -> float | None:
+        if not feedback:
+            return None
+        correct = sum(1 for _, label, verdict in feedback if label == verdict)
+        return correct / len(feedback)
+
+    @staticmethod
+    def _per_family(feedback) -> dict[str, dict]:
+        cells: dict[str, dict] = {}
+        for family, label, verdict in feedback:
+            fam = family or "?"
+            cell = cells.setdefault(
+                fam, {"kind": "attack" if label > 0 else "benign", "labeled": 0, "correct": 0, "flagged": 0}
+            )
+            cell["labeled"] += 1
+            cell["correct"] += int(label == verdict)
+            cell["flagged"] += int(verdict == 1)
+        out: dict[str, dict] = {}
+        for fam, cell in cells.items():
+            doc = {
+                "kind": cell["kind"],
+                "labeled": cell["labeled"],
+                "accuracy": cell["correct"] / cell["labeled"],
+            }
+            if cell["kind"] == "benign":
+                doc["false_positive_rate"] = cell["flagged"] / cell["labeled"]
+            else:
+                doc["miss_rate"] = 1.0 - cell["correct"] / cell["labeled"]
+            out[fam] = doc
+        return out
+
+    # -- quarantine ------------------------------------------------------
+
+    def _quarantine(
+        self, report: DriftReport, margins: np.ndarray, feedback
+    ) -> str | None:
+        root = self.config.quarantine_dir
+        if root is None:
+            return None
+        record = {
+            "record_version": DRIFT_RECORD_VERSION,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "report": report.describe(),
+            "margins": [float(m) for m in margins],
+            "feedback": [
+                {"family": fam, "label": label, "verdict": verdict}
+                for fam, label, verdict in feedback
+            ],
+        }
+        path = Path(root) / f"window_{report.window:05d}.json"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(record, indent=2) + "\n")
+            tmp.replace(path)
+        except OSError as exc:
+            # quarantine is best-effort forensics; losing a record must not
+            # take the verdict (or the daemon) down with it
+            log_event(
+                logger,
+                "drift.quarantine_write_failed",
+                level=logging.WARNING,
+                window=report.window,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
+        self.quarantined_windows += 1
+        return str(path)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget the reference and the partial window.  Call when a new
+        model goes live: it defines a new normal, and comparing its margins
+        against the old model's reference would fire a false verdict."""
+        self.reference = None
+        self._margins = []
+        self._feedback = []
+        self._cooldown = 0
+        log_event(logger, "drift.reset", window=self._window_index)
+
+    def counters(self) -> dict:
+        """Snapshot for /metricsz."""
+        last = self.last_report
+        return {
+            "window_size": self.config.window,
+            "window_fill": len(self._margins),
+            "windows_evaluated": self.windows_evaluated,
+            "scored": self.scored_total,
+            "feedback": self.feedback_total,
+            "drift_verdicts": self.drift_verdicts,
+            "rollback_signals": self.rollback_signals,
+            "quarantined_windows": self.quarantined_windows,
+            "reference_frozen": self.reference is not None,
+            "last_window": None if last is None else {
+                "window": last.window,
+                "drifted": last.drifted,
+                "reasons": list(last.reasons),
+                "psi": last.psi,
+                "rolling_accuracy": last.rolling_accuracy,
+            },
+        }

@@ -157,6 +157,26 @@ class ScoringWedged(ServeError):
 
 
 # ---------------------------------------------------------------------------
+# drift / online-learning errors
+# ---------------------------------------------------------------------------
+
+
+class DriftError(ReproError):
+    """A drift-monitor or retrain-supervisor failure (bad configuration,
+    malformed feedback, unusable retrain output)."""
+
+    code = "drift_error"
+
+
+class RetrainFailed(DriftError):
+    """A retrain attempt did not produce a loadable candidate artifact
+    (subprocess crash, timeout, or candidate verification failure).  The live
+    model is never touched by a failed retrain."""
+
+    code = "retrain_failed"
+
+
+# ---------------------------------------------------------------------------
 # generator errors
 # ---------------------------------------------------------------------------
 

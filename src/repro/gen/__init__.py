@@ -26,8 +26,22 @@ from .generator import (
     synthesize_trace,
     trace_key,
 )
+from .shift import (
+    BUILTIN_SCHEDULES,
+    PRE_SHIFT_MIX,
+    ShiftPhase,
+    ShiftSchedule,
+    load_schedule,
+    perturb_spec,
+)
 
 __all__ = [
+    "BUILTIN_SCHEDULES",
+    "PRE_SHIFT_MIX",
+    "ShiftPhase",
+    "ShiftSchedule",
+    "load_schedule",
+    "perturb_spec",
     "BASELINE",
     "BUILTIN_FAMILIES",
     "FAMILY_REGISTRY",

@@ -1,0 +1,341 @@
+"""Distribution-shift injection for the synthetic generator.
+
+A :class:`ShiftSchedule` turns the generator into a *time-ordered stream*
+whose composition changes under the detector: each phase holds a weighted
+family mix plus optional per-family spec perturbations (amplitude decay,
+burst-rate changes, noise inflation) that take effect at a trace index.
+This is the evaluation substrate for the drift loop — a model trained on
+the phase-0 mix is replayed against the stream and must notice when phase 1
+arrives.
+
+Determinism matches the rest of :mod:`repro.gen`: the family picked for
+stream index ``i`` comes from its own Philox stream keyed by
+``sha256("repro.gen/<v>|stream|seed=<s>|index=<i>")``, and the trace bytes
+then come from the standard :func:`~repro.gen.generator.synthesize_trace`
+keyed by ``(seed, family, index)`` — so a stream is a pure function of
+``(schedule, seed)`` and replays are byte-identical.
+
+Schedules are plain data (JSON-roundtrippable) so a replay config can be
+committed next to its bench results::
+
+    {"phases": [
+        {"at": 0,   "mix": {"spectre_v1": 1, "benign_compute": 1}},
+        {"at": 300, "mix": {"evasive_spectre_v1": 1, "benign_compute": 1},
+         "perturb": {"evasive_spectre_v1": {"amplitude_mul": 0.8}}}
+    ]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import GenSpecError
+from ..sim.trace import Trace
+from .families import FAMILY_REGISTRY, FamilySpec
+from .generator import GEN_VERSION, _Stream, synthesize_trace
+
+#: spec knobs a phase may perturb, all multiplicative so a perturbation of
+#: 1.0 is the identity and composition stays intuitive
+PERTURB_KNOBS = ("amplitude_mul", "burst_mul", "noise_mul", "signature_mul")
+
+
+def stream_key(seed: int, index: int) -> bytes:
+    """The 32-byte stream key deciding which family stream index ``i`` is."""
+    tag = f"repro.gen/{GEN_VERSION}|stream|seed={seed}|index={index}"
+    return hashlib.sha256(tag.encode("ascii")).digest()
+
+
+def perturb_spec(spec: FamilySpec, knobs: dict | None) -> FamilySpec:
+    """A copy of ``spec`` with its bounded knobs scaled.
+
+    ``amplitude_mul`` / ``burst_mul`` / ``noise_mul`` scale the respective
+    sampling bounds (burst clamped into [0, 1], noise into (0, 10]);
+    ``signature_mul`` scales every per-column footprint weight.  The result
+    passes the same :class:`FamilySpec` validation as a builtin, so a
+    perturbation can never produce an out-of-contract family.
+    """
+    if not knobs:
+        return spec
+    unknown = set(knobs) - set(PERTURB_KNOBS)
+    if unknown:
+        raise GenSpecError(f"unknown perturbation knobs {sorted(unknown)}")
+    for name, value in knobs.items():
+        if not isinstance(value, (int, float)) or not (0.0 < float(value) <= 100.0):
+            raise GenSpecError(f"perturbation {name}={value!r} outside (0, 100]")
+    amp = float(knobs.get("amplitude_mul", 1.0))
+    burst = float(knobs.get("burst_mul", 1.0))
+    noise = float(knobs.get("noise_mul", 1.0))
+    sig = float(knobs.get("signature_mul", 1.0))
+    return FamilySpec(
+        name=spec.name,
+        label=spec.label,
+        intervals=spec.intervals,
+        burst_frac=(
+            min(spec.burst_frac[0] * burst, 1.0),
+            min(spec.burst_frac[1] * burst, 1.0),
+        ),
+        amplitude=(spec.amplitude[0] * amp, spec.amplitude[1] * amp),
+        signature={col: w * sig for col, w in spec.signature.items()},
+        baseline_shift=dict(spec.baseline_shift),
+        noise=min(spec.noise * noise, 10.0),
+    )
+
+
+@dataclass(frozen=True)
+class ShiftPhase:
+    """One stretch of the stream: starts at ``at``, draws families from
+    ``mix`` (weights, not probabilities), perturbing specs per ``perturb``."""
+
+    at: int
+    mix: dict[str, float]
+    perturb: dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise GenSpecError(f"phase start {self.at} must be >= 0")
+        if not self.mix:
+            raise GenSpecError(f"phase at {self.at} has an empty family mix")
+        for family, weight in self.mix.items():
+            if not isinstance(weight, (int, float)) or not (0.0 < float(weight)):
+                raise GenSpecError(
+                    f"phase at {self.at}: mix weight {family}={weight!r} must be > 0"
+                )
+        for family in self.perturb:
+            if family not in self.mix:
+                raise GenSpecError(
+                    f"phase at {self.at}: perturbation for {family!r} not in its mix"
+                )
+
+    def to_dict(self) -> dict:
+        doc: dict = {"at": self.at, "mix": dict(self.mix)}
+        if self.perturb:
+            doc["perturb"] = {f: dict(k) for f, k in self.perturb.items()}
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ShiftPhase":
+        if not isinstance(doc, dict):
+            raise GenSpecError(f"phase must be a dict, got {type(doc).__name__}")
+        unknown = set(doc) - {"at", "mix", "perturb"}
+        if unknown:
+            raise GenSpecError(f"unknown phase fields {sorted(unknown)}")
+        try:
+            return cls(
+                at=int(doc.get("at", 0)),
+                mix=dict(doc["mix"]),
+                perturb={f: dict(k) for f, k in dict(doc.get("perturb", {})).items()},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GenSpecError(f"malformed phase: {exc}") from exc
+
+
+class ShiftSchedule:
+    """An ordered list of phases covering stream indices [0, inf).
+
+    Phase ``at`` values must be strictly increasing and start at 0; indices
+    beyond the last phase's start stay in that phase forever, so a replay
+    can extend past its nominal length without falling off the schedule.
+    """
+
+    def __init__(self, phases: list[ShiftPhase], *, registry: dict[str, FamilySpec] | None = None):
+        if not phases:
+            raise GenSpecError("schedule needs at least one phase")
+        starts = [p.at for p in phases]
+        if starts[0] != 0:
+            raise GenSpecError(f"first phase must start at 0, got {starts[0]}")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise GenSpecError(f"phase starts must be strictly increasing, got {starts}")
+        self.phases = list(phases)
+        self._starts = starts
+        reg = registry if registry is not None else FAMILY_REGISTRY
+        # resolve + perturb every (phase, family) spec once, up front — this
+        # both validates the schedule eagerly and makes per-trace synthesis
+        # a dict lookup instead of a spec rebuild
+        self._specs: list[dict[str, FamilySpec]] = []
+        for phase in self.phases:
+            specs: dict[str, FamilySpec] = {}
+            for family in phase.mix:
+                if family not in reg:
+                    raise GenSpecError(
+                        f"phase at {phase.at}: unknown family {family!r}; "
+                        f"known: {', '.join(sorted(reg))}"
+                    )
+                specs[family] = perturb_spec(reg[family], phase.perturb.get(family))
+            self._specs.append(specs)
+
+    # -- structure -------------------------------------------------------
+
+    def phase_index(self, index: int) -> int:
+        if index < 0:
+            raise GenSpecError(f"stream index {index} must be >= 0")
+        return bisect_right(self._starts, index) - 1
+
+    def phase_for(self, index: int) -> ShiftPhase:
+        return self.phases[self.phase_index(index)]
+
+    def shift_points(self) -> list[int]:
+        """Stream indices where the distribution changes (phase 1+ starts)."""
+        return self._starts[1:]
+
+    def pre_shift(self) -> "ShiftSchedule":
+        """A schedule holding only phase 0 forever — the pre-shift world a
+        baseline model is trained on, at any stream length."""
+        return ShiftSchedule([self.phases[0]])
+
+    def families(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for phase in self.phases:
+            for family in phase.mix:
+                seen.setdefault(family)
+        return list(seen)
+
+    def to_dict(self) -> dict:
+        return {"phases": [p.to_dict() for p in self.phases]}
+
+    @classmethod
+    def from_dict(cls, doc: dict, *, registry: dict[str, FamilySpec] | None = None) -> "ShiftSchedule":
+        if not isinstance(doc, dict) or not isinstance(doc.get("phases"), list):
+            raise GenSpecError("schedule must be {'phases': [...]}")
+        return cls([ShiftPhase.from_dict(p) for p in doc["phases"]], registry=registry)
+
+    # -- synthesis -------------------------------------------------------
+
+    def spec_at(self, seed: int, index: int) -> FamilySpec:
+        """The (possibly perturbed) family spec stream index ``index`` draws."""
+        k = self.phase_index(index)
+        phase = self.phases[k]
+        u = float(_Stream(stream_key(seed, index)).uniforms(1)[0])
+        # stable pick order: sorted family names, cumulative weights
+        items = sorted(phase.mix.items())
+        total = sum(w for _, w in items)
+        acc = 0.0
+        for family, weight in items:
+            acc += weight / total
+            if u < acc:
+                return self._specs[k][family]
+        return self._specs[k][items[-1][0]]
+
+    def synthesize(self, seed: int, index: int) -> Trace:
+        """Trace for stream index ``index`` — a pure function of
+        ``(schedule, seed, index)``."""
+        return synthesize_trace(self.spec_at(seed, index), seed, index)
+
+    def stream(self, seed: int, count: int, *, start: int = 0) -> Iterator[tuple[int, Trace]]:
+        """Yield ``(index, trace)`` for ``count`` indices from ``start``."""
+        for index in range(start, start + count):
+            yield index, self.synthesize(seed, index)
+
+
+# ---------------------------------------------------------------------------
+# builtin schedules
+# ---------------------------------------------------------------------------
+
+#: the mix a pre-shift model is trained on: two loud attacks, two benign
+#: workloads (one a hard negative for flush_reload)
+PRE_SHIFT_MIX: dict[str, float] = {
+    "spectre_v1": 1.0,
+    "flush_reload": 1.0,
+    "benign_compute": 1.0,
+    "benign_stream": 1.0,
+}
+
+
+def evasive_shift(shift_at: int) -> ShiftSchedule:
+    """Attack variants go low-and-slow at ``shift_at``: the loud families are
+    replaced by their evasive forms (3–12% burst rate, quarter amplitude)
+    while the benign mix stays put.  A frozen model keeps its benign
+    accuracy but starts missing attacks wholesale — the canonical silent
+    degradation the self-healing loop exists for."""
+    return ShiftSchedule(
+        [
+            ShiftPhase(at=0, mix=dict(PRE_SHIFT_MIX)),
+            ShiftPhase(
+                at=shift_at,
+                mix={
+                    "evasive_spectre_v1": 1.0,
+                    "evasive_flush_reload": 1.0,
+                    "benign_compute": 1.0,
+                    "benign_stream": 1.0,
+                },
+            ),
+        ]
+    )
+
+
+def novel_probe_shift(shift_at: int) -> ShiftSchedule:
+    """The attack *technique* changes at ``shift_at``: Prime+Probe (a cache
+    footprint the pre-shift mix never exhibits) replaces the trained attacks,
+    and an untrained benign hard negative (pointer chasing) joins the benign
+    side.  A model trained on the pre-shift mix drops to near coin-flip on
+    this stream while staying perfectly calm — the archetypal silent failure
+    the self-healing loop must catch from labeled feedback."""
+    return ShiftSchedule(
+        [
+            ShiftPhase(at=0, mix=dict(PRE_SHIFT_MIX)),
+            ShiftPhase(
+                at=shift_at,
+                mix={
+                    "prime_probe": 1.0,
+                    "benign_pointer_chase": 1.0,
+                    "benign_compute": 1.0,
+                    "benign_stream": 1.0,
+                },
+            ),
+        ]
+    )
+
+
+def attenuation_shift(shift_at: int, *, amplitude_mul: float = 0.35, burst_mul: float = 0.4) -> ShiftSchedule:
+    """Same families, perturbed parameters: at ``shift_at`` the attack
+    signatures decay in amplitude and burst rate — distribution shift via
+    knob drift rather than family replacement."""
+    perturb = {"amplitude_mul": amplitude_mul, "burst_mul": burst_mul}
+    return ShiftSchedule(
+        [
+            ShiftPhase(at=0, mix=dict(PRE_SHIFT_MIX)),
+            ShiftPhase(
+                at=shift_at,
+                mix=dict(PRE_SHIFT_MIX),
+                perturb={"spectre_v1": dict(perturb), "flush_reload": dict(perturb)},
+            ),
+        ]
+    )
+
+
+#: builtin schedule factories, each taking the shift index
+BUILTIN_SCHEDULES = {
+    "evasive_shift": evasive_shift,
+    "novel_probe_shift": novel_probe_shift,
+    "attenuation_shift": attenuation_shift,
+}
+
+
+def load_schedule(
+    spec: str, *, registry: dict[str, FamilySpec] | None = None
+) -> ShiftSchedule:
+    """Resolve a schedule argument: ``"<builtin>:<shift_at>"`` (e.g.
+    ``evasive_shift:300``) or a path to a JSON schedule file."""
+    if ":" in spec and not Path(spec).exists():
+        name, _, arg = spec.partition(":")
+        if name in BUILTIN_SCHEDULES:
+            try:
+                shift_at = int(arg)
+            except ValueError:
+                raise GenSpecError(
+                    f"builtin schedule {name!r} needs an integer shift index, got {arg!r}"
+                ) from None
+            if shift_at < 1:
+                raise GenSpecError(f"shift index must be >= 1, got {shift_at}")
+            return BUILTIN_SCHEDULES[name](shift_at)
+    if spec in BUILTIN_SCHEDULES:
+        raise GenSpecError(f"builtin schedule {spec!r} needs a shift index: {spec}:<at>")
+    try:
+        doc = json.loads(Path(spec).read_text())
+    except (OSError, ValueError) as exc:
+        raise GenSpecError(f"cannot load schedule from {spec}: {exc}") from exc
+    return ShiftSchedule.from_dict(doc, registry=registry)

@@ -12,6 +12,7 @@ from .perceptron import (
     FIT_MODES,
     HashedPerceptron,
     ensemble_margins,
+    ensemble_partial_fit,
     margin_scales,
     trace_verdicts,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "PublishResult",
     "TrainedMember",
     "ensemble_margins",
+    "ensemble_partial_fit",
     "fit_epoch_blocked",
     "fit_epoch_minibatch",
     "fit_epoch_reference",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import shutil
 import time
@@ -153,8 +154,15 @@ class ArtifactStore:
         scales: list[float],
         *,
         meta: dict | None = None,
+        set_current: bool = True,
     ) -> PublishResult:
-        """Stage, verify, and atomically publish a new artifact version."""
+        """Stage, verify, and atomically publish a new artifact version.
+
+        With ``set_current=False`` the version is fully published but the
+        ``CURRENT`` pointer is left untouched — a **candidate** artifact that
+        shadow traffic can score without any live reader seeing it.  Swap it
+        in later with :meth:`promote`.
+        """
         if not models:
             raise ArtifactError("cannot publish an empty ensemble")
         if len(scales) != len(models):
@@ -205,16 +213,33 @@ class ArtifactStore:
         except OSError as exc:
             shutil.rmtree(stage, ignore_errors=True)
             raise ArtifactError(f"cannot publish artifact under {self.root}: {exc}") from exc
-        self._set_current(version)
+        if set_current:
+            self._set_current(version)
         log_event(
             logger,
             "artifact.publish",
             version=version,
             members=len(models),
             n_features=manifest["n_features"],
+            current=set_current,
             root=str(self.root),
         )
         return PublishResult(version=version, path=final, manifest=manifest)
+
+    def promote(self, version: str) -> None:
+        """Atomically point ``CURRENT`` at an already-published version.
+
+        This is the canary-gate passing move: a candidate published with
+        ``set_current=False`` becomes live in one pointer swap, exactly the
+        same swap a fresh publish performs.  Unknown versions are refused.
+        """
+        if version not in self.versions():
+            raise ArtifactError(
+                f"cannot promote unknown version {version!r} under {self.root}"
+            )
+        previous = self.current()
+        self._set_current(version)
+        log_event(logger, "artifact.promote", version=version, previous=previous)
 
     def _set_current(self, version: str) -> None:
         tmp = self.root / f".{_CURRENT}.{os.getpid()}.tmp"
@@ -330,18 +355,23 @@ class ArtifactStore:
                 loaded = self.load(version)
             except ArtifactError as exc:
                 tried.append(version)
+                # WARNING, not INFO: every skipped version is a bad publish
+                # an operator must eventually clean up, and walking past one
+                # silently is how a store fills with corrupt artifacts
                 log_event(
                     logger,
                     "artifact.fallback",
+                    level=logging.WARNING,
                     version=version,
                     error=type(exc).__name__,
-                    detail=str(exc)[:120],
+                    reason=str(exc)[:160],
                 )
                 continue
             if tried:
                 log_event(
                     logger,
                     "artifact.degraded",
+                    level=logging.WARNING,
                     serving=version,
                     refused=",".join(tried),
                 )

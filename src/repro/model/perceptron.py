@@ -171,6 +171,35 @@ class HashedPerceptron:
             ) from None
         return fn(self.weights.ravel(), plan, y, order, self.theta, self.weight_clamp)
 
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        seed: int | None = None,
+        kernel: str = "blocked",
+        shuffle: bool = True,
+    ) -> int:
+        """One incremental online pass over a labeled batch; returns the
+        number of weight updates made.
+
+        This is the streaming-learning entry point: weights are updated in
+        place starting from their current values, so repeated calls fold
+        labeled feedback batches into a served model without retraining from
+        scratch.  With the default ``seed`` (the model's own) one
+        ``partial_fit`` pass over a corpus is **bit-identical** to the first
+        epoch of :meth:`fit` on that corpus — the property tests pin this,
+        which is what lets the drift supervisor reuse the batch kernels
+        verbatim.
+        """
+        y = self._check_labels(y)
+        plan = TrainPlan.from_flat(self._flat_indices(X))
+        order = np.arange(len(y))
+        if shuffle:
+            rng = np.random.default_rng(self.seed if seed is None else seed)
+            rng.shuffle(order)
+        return self._run_online_epoch(plan, y, order, kernel)
+
     def fit(
         self,
         X: np.ndarray,
@@ -348,6 +377,32 @@ def ensemble_margins(
         scale = float(scales[k]) if scales is not None else np.abs(d).mean()
         total += d / (scale + 1e-9)
     return total / len(models)
+
+
+def ensemble_partial_fit(
+    models,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    seed: int | None = None,
+    kernel: str = "blocked",
+) -> list[int]:
+    """One :meth:`HashedPerceptron.partial_fit` pass per ensemble member;
+    returns per-member update counts.
+
+    With ``seed=None`` every member shuffles with its own model seed, so the
+    result is bit-identical to the first epoch each member's :meth:`fit`
+    would have run.  Passing ``seed`` decorrelates the visit orders across
+    repeated feedback batches (member ``k`` uses ``seed + 17 * k``).
+    """
+    if not models:
+        raise ModelError("ensemble is empty")
+    return [
+        model.partial_fit(
+            X, y, seed=None if seed is None else seed + 17 * k, kernel=kernel
+        )
+        for k, model in enumerate(models)
+    ]
 
 
 def margin_scales(models, X: np.ndarray, *, batch_size: int | None = None) -> list[float]:

@@ -16,9 +16,26 @@ Robustness contract:
   wedging the daemon;
 - hot artifact reloads that fail verification fall back to the last good
   version; SIGTERM drains in-flight requests before exit.
+
+With ``--drift-window`` / ``--supervise`` the daemon additionally runs the
+drift-aware online-learning loop: served margins and labeled feedback feed a
+:class:`~repro.drift.DriftMonitor`, drift verdicts trigger a subprocess
+retrain that publishes a **candidate** artifact, the candidate is
+shadow-scored against live traffic, and only a passed canary gate swaps the
+``CURRENT`` pointer; a live model falling below the rollback floor is
+swapped back to the last good version.
 """
 
 from .scorer import RequestScorer, ScoreRequest
 from .service import ServeConfig, ScoringService
+from .supervisor import FeedbackBuffer, RetrainSupervisor, SupervisorStats
 
-__all__ = ["RequestScorer", "ScoreRequest", "ServeConfig", "ScoringService"]
+__all__ = [
+    "FeedbackBuffer",
+    "RequestScorer",
+    "RetrainSupervisor",
+    "ScoreRequest",
+    "ScoringService",
+    "ServeConfig",
+    "SupervisorStats",
+]

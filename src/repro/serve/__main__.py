@@ -55,6 +55,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--batch-size", type=int, default=None, help="rows per scoring chunk")
     parser.add_argument("--drain-timeout", type=float, default=defaults.drain_timeout_s)
+    drift = parser.add_argument_group("drift monitoring / online learning")
+    drift.add_argument(
+        "--drift-window",
+        type=int,
+        default=defaults.drift_window,
+        help="scored traces per drift-evaluation window (0 disables the monitor)",
+    )
+    drift.add_argument("--drift-min-feedback", type=int, default=defaults.drift_min_feedback)
+    drift.add_argument("--drift-psi-threshold", type=float, default=defaults.drift_psi_threshold)
+    drift.add_argument("--drift-margin-sigma", type=float, default=defaults.drift_margin_sigma)
+    drift.add_argument("--drift-accuracy-floor", type=float, default=defaults.drift_accuracy_floor)
+    drift.add_argument("--drift-rollback-floor", type=float, default=defaults.drift_rollback_floor)
+    drift.add_argument("--drift-cooldown", type=int, default=defaults.drift_cooldown_windows)
+    drift.add_argument(
+        "--drift-quarantine-dir",
+        default=None,
+        metavar="DIR",
+        help="write suspect drift windows here as JSON records",
+    )
+    drift.add_argument(
+        "--supervise",
+        action="store_true",
+        help="enable the self-healing retrain -> canary -> rollback supervisor",
+    )
+    drift.add_argument("--retrain-mode", choices=("partial", "full"), default=defaults.retrain_mode)
+    drift.add_argument("--retrain-passes", type=int, default=defaults.retrain_passes)
+    drift.add_argument("--retrain-timeout", type=float, default=defaults.retrain_timeout_s)
+    drift.add_argument("--retrain-min-traces", type=int, default=defaults.retrain_min_traces)
+    drift.add_argument("--retrain-backoff", type=float, default=defaults.retrain_backoff_s)
+    drift.add_argument("--canary-min-traces", type=int, default=defaults.canary_min_traces)
+    drift.add_argument("--canary-margin", type=float, default=defaults.canary_margin)
+    drift.add_argument("--canary-floor", type=float, default=defaults.canary_floor)
+    drift.add_argument("--canary-timeout", type=float, default=defaults.canary_timeout_s)
+    drift.add_argument("--feedback-capacity", type=int, default=defaults.feedback_capacity)
     return parser
 
 
@@ -76,6 +110,25 @@ def main(argv: list[str] | None = None) -> int:
         quarantine_path=args.quarantine,
         batch_size=args.batch_size,
         drain_timeout_s=args.drain_timeout,
+        drift_window=args.drift_window,
+        drift_min_feedback=args.drift_min_feedback,
+        drift_psi_threshold=args.drift_psi_threshold,
+        drift_margin_sigma=args.drift_margin_sigma,
+        drift_accuracy_floor=args.drift_accuracy_floor,
+        drift_rollback_floor=args.drift_rollback_floor,
+        drift_cooldown_windows=args.drift_cooldown,
+        drift_quarantine_dir=args.drift_quarantine_dir,
+        supervise=args.supervise,
+        retrain_mode=args.retrain_mode,
+        retrain_passes=args.retrain_passes,
+        retrain_timeout_s=args.retrain_timeout,
+        retrain_min_traces=args.retrain_min_traces,
+        retrain_backoff_s=args.retrain_backoff,
+        canary_min_traces=args.canary_min_traces,
+        canary_margin=args.canary_margin,
+        canary_floor=args.canary_floor,
+        canary_timeout_s=args.canary_timeout,
+        feedback_capacity=args.feedback_capacity,
     )
     return asyncio.run(run_service(config))
 

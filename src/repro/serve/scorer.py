@@ -60,6 +60,12 @@ class ScoreRequest:
     future: object = None
     #: filled during scoring
     response: dict | None = None
+    #: labeled-feedback fields, filled during scoring when the request
+    #: carries a ``label``: the decoded rows and family feed the drift
+    #: monitor and the retrain supervisor's feedback buffer
+    label: int | None = None
+    family: str | None = None
+    rows: np.ndarray | None = None
 
     def expired(self, now: float | None = None) -> bool:
         return (now if now is not None else time.monotonic()) > self.deadline_mono
@@ -74,6 +80,25 @@ def parse_request_line(line: bytes) -> dict:
     if not isinstance(obj, dict):
         raise BadRequest(f"request must be a JSON object, got {type(obj).__name__}")
     return obj
+
+
+def parse_feedback(obj: dict) -> tuple[int | None, str | None]:
+    """``(label, family)`` from a request document; raises :class:`BadRequest`.
+
+    ``label`` is the ground-truth trace verdict (+1 attack / -1 benign)
+    supplied by an operator or the replay harness.  Booleans are rejected
+    explicitly: ``bool`` is an ``int`` subclass, so without the guard
+    ``True in (-1, 1)`` would quietly accept ``true`` as an attack label.
+    """
+    label = obj.get("label")
+    family = obj.get("family")
+    if family is not None and not isinstance(family, str):
+        raise BadRequest(f"family must be a string, got {type(family).__name__}")
+    if label is None:
+        return None, family
+    if isinstance(label, bool) or not isinstance(label, int) or label not in (-1, 1):
+        raise BadRequest(f"label must be -1 or +1, got {label!r}")
+    return int(label), family
 
 
 def error_response(req_id: str, exc: BaseException) -> dict:
@@ -138,6 +163,8 @@ class RequestScorer:
             trace, report = decode_trace(
                 blob, path=f"request:{req.req_id}", deadline=deadline
             )
+            if req.family is None:
+                req.family = trace.attack_class or trace.program
             return np.asarray(trace.rows, dtype=np.float64), {
                 "decode_mode": report.mode,
                 "degraded": report.degraded,
@@ -187,6 +214,7 @@ class RequestScorer:
         live: list[tuple[int, np.ndarray, dict]] = []
         for i, req in enumerate(batch):
             try:
+                req.label, req.family = parse_feedback(req.raw)
                 rows, info = self._rows_from_request(req)
                 self._check_width(rows)
             except TraceDecodeError as exc:
@@ -196,6 +224,8 @@ class RequestScorer:
             except ReproError as exc:
                 responses[i] = error_response(req.req_id, exc)
                 continue
+            if req.label is not None:
+                req.rows = rows
             live.append((i, rows, info))
 
         if live:
@@ -223,6 +253,13 @@ class RequestScorer:
                     "artifact": self.artifact.version,
                     **info,
                 }
+                if req.label is not None:
+                    # acknowledged feedback: the caller can tell the label
+                    # was accepted into the drift loop, and which family the
+                    # trace resolved to
+                    responses[i]["feedback"] = True
+                    if req.family is not None:
+                        responses[i]["family"] = req.family
         assert all(r is not None for r in responses)
         return responses
 

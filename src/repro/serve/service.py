@@ -31,10 +31,12 @@ import signal
 import time
 from dataclasses import dataclass
 
+from ..drift import DriftConfig, DriftMonitor
 from ..errors import ArtifactError, BadRequest, DeadlineExceeded, Overloaded, ScoringWedged
 from ..model.artifact import ArtifactStore
 from ..telemetry import get_logger, log_event, span
 from .scorer import RequestScorer, ScoreRequest, ScorerStats, error_response, parse_request_line
+from .supervisor import RetrainSupervisor
 
 logger = get_logger("repro.serve")
 
@@ -73,6 +75,50 @@ class ServeConfig:
     #: hard cap on drain time at shutdown
     drain_timeout_s: float = 30.0
 
+    # -- drift monitoring / online learning (defaults keep all of it OFF,
+    # -- so a daemon configured like the previous release behaves
+    # -- bit-identically to it) -----------------------------------------
+    #: scored traces per drift-evaluation window (0 disables the monitor)
+    drift_window: int = 0
+    #: labeled events a window needs before accuracy verdicts fire
+    drift_min_feedback: int = 20
+    #: PSI of the margin distribution vs the reference above this is drift
+    drift_psi_threshold: float = 0.25
+    #: |margin mean shift| in reference-std units above this is drift
+    drift_margin_sigma: float = 3.0
+    #: rolling feedback accuracy below this is a drift verdict
+    drift_accuracy_floor: float = 0.75
+    #: rolling feedback accuracy below this raises the rollback signal
+    drift_rollback_floor: float = 0.5
+    #: quiet windows after a drift verdict
+    drift_cooldown_windows: int = 2
+    #: where suspect windows are quarantined as JSON (None = telemetry only)
+    drift_quarantine_dir: str | None = None
+    #: enable the retrain -> canary -> promote/rollback supervisor
+    supervise: bool = False
+    #: retrain strategy: incremental passes over feedback, or full refit
+    retrain_mode: str = "partial"
+    #: partial_fit passes (or minimum full-fit epochs) per retrain
+    retrain_passes: int = 2
+    #: wall-clock budget for one retrain subprocess
+    retrain_timeout_s: float = 120.0
+    #: labeled traces needed before a retrain is attempted
+    retrain_min_traces: int = 8
+    #: base / cap of the exponential backoff after a failed retrain or a
+    #: rejected canary
+    retrain_backoff_s: float = 5.0
+    retrain_backoff_max_s: float = 300.0
+    #: labeled traces the canary gate wants to shadow-score
+    canary_min_traces: int = 16
+    #: candidate must reach live accuracy minus this tolerance...
+    canary_margin: float = 0.02
+    #: ...and this absolute accuracy floor, to be promoted
+    canary_floor: float = 0.6
+    #: give up on a canary that cannot collect labeled traffic in time
+    canary_timeout_s: float = 60.0
+    #: labeled traces kept in the feedback ring buffer
+    feedback_capacity: int = 4096
+
 
 class ScoringService:
     """Lifecycle owner for the daemon; usable in-process for tests."""
@@ -97,6 +143,24 @@ class ScoringService:
         self._bad_versions: set[str] = set()
         self._stop_event = asyncio.Event()
         self._writers: set[asyncio.StreamWriter] = set()
+        self.monitor: DriftMonitor | None = None
+        if config.drift_window > 0:
+            self.monitor = DriftMonitor(
+                DriftConfig(
+                    window=config.drift_window,
+                    min_feedback=config.drift_min_feedback,
+                    psi_threshold=config.drift_psi_threshold,
+                    margin_sigma=config.drift_margin_sigma,
+                    accuracy_floor=config.drift_accuracy_floor,
+                    rollback_floor=config.drift_rollback_floor,
+                    cooldown_windows=config.drift_cooldown_windows,
+                    quarantine_dir=config.drift_quarantine_dir,
+                )
+            )
+        self.supervisor: RetrainSupervisor | None = (
+            RetrainSupervisor(self, config) if config.supervise else None
+        )
+        self._supervisor_task: asyncio.Task | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -126,6 +190,10 @@ class ScoringService:
         self._watchdog_task = asyncio.create_task(self._watchdog(), name="serve-watchdog")
         if self.config.reload_poll_s > 0:
             self._reload_task = asyncio.create_task(self._reloader(), name="serve-reloader")
+        if self.supervisor is not None:
+            self._supervisor_task = asyncio.create_task(
+                self.supervisor.run(), name="serve-supervisor"
+            )
         log_event(
             logger,
             "serve.start",
@@ -170,7 +238,12 @@ class ScoringService:
         while (not self.queue.empty() or self._inflight) and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
         drained = self.queue.empty() and not self._inflight
-        for task in (self._reload_task, self._watchdog_task, self._batcher_task):
+        for task in (
+            self._supervisor_task,
+            self._reload_task,
+            self._watchdog_task,
+            self._batcher_task,
+        ):
             if task is not None:
                 task.cancel()
                 try:
@@ -350,6 +423,15 @@ class ScoringService:
                 "draining": self.draining,
                 "uptime_s": round(time.monotonic() - self._started_mono, 3),
                 "counters": self.stats.to_json(),
+                "drift": self.monitor.counters() if self.monitor is not None else None,
+                "supervisor": (
+                    self.supervisor.stats.to_json() | {
+                        "feedback_buffered": len(self.supervisor.feedback),
+                        "backoff_remaining_s": round(self.supervisor.backoff_remaining(), 3),
+                    }
+                    if self.supervisor is not None
+                    else None
+                ),
             }
         return 404, {"error": f"unknown probe {target}"}
 
@@ -430,6 +512,61 @@ class ScoringService:
             self._batch_started_mono = None
         for req, response in zip(live, responses):
             self._respond(req, response)
+        self._observe_batch(live, responses)
+
+    def _observe_batch(self, batch: list[ScoreRequest], responses: list[dict]) -> None:
+        """Feed the drift monitor and the supervisor's feedback buffer after
+        a scored batch.  Runs on the event-loop thread (so the monitor needs
+        no locks) and never raises: the drift loop observes serving, it must
+        not be able to break it."""
+        if self.monitor is None and self.supervisor is None:
+            return
+        try:
+            for req, resp in zip(batch, responses):
+                if not resp.get("ok"):
+                    continue
+                if self.monitor is not None:
+                    self.monitor.observe(
+                        resp["margin"],
+                        resp["verdict"],
+                        label=req.label,
+                        family=req.family,
+                    )
+                if (
+                    self.supervisor is not None
+                    and req.label is not None
+                    and req.rows is not None
+                ):
+                    self.supervisor.add_feedback(req.rows, req.label, req.family)
+            if self.monitor is not None:
+                report = self.monitor.maybe_evaluate()
+                if report is not None and self.supervisor is not None:
+                    self.supervisor.on_report(report)
+        except Exception as exc:
+            log_event(
+                logger,
+                "serve.observe_error",
+                level=40,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def adopt_artifact(self, loaded) -> None:
+        """Swap the live scorer to an already-verified artifact (canary
+        promotion or rollback).  The swap is one attribute assignment — the
+        batcher pins ``self.scorer`` before each batch, so an in-flight
+        batch finishes whole on the model it started with.  The drift
+        reference resets: a new model defines its own normal."""
+        previous = self.scorer.artifact.version if self.scorer else None
+        self.scorer = self._make_scorer(loaded)
+        self.stats.reloads += 1
+        if self.monitor is not None:
+            self.monitor.reset()
+        log_event(logger, "serve.adopt", version=loaded.version, previous=previous)
+
+    def mark_bad_version(self, version: str) -> None:
+        """Exclude a version from hot reload (used after a rollback so the
+        poller cannot resurrect the model that was just rolled back)."""
+        self._bad_versions.add(version)
 
     @staticmethod
     def _respond(req: ScoreRequest, response: dict) -> None:

@@ -1,0 +1,314 @@
+"""Unit contract for the windowed drift monitor.
+
+The monitor is the trigger for retrains and rollbacks, so its semantics are
+pinned tightly: the first window freezes the reference and never fires, a
+stable stream stays quiet, each threshold (PSI, margin shift, accuracy
+floor, per-family FPR) fires alone and is named in the reasons, cooldown
+turns a long degradation into one verdict instead of one per window, the
+rollback signal rides the lower floor, and quarantine records are complete
+JSON documents an operator can triage offline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.drift import (
+    DRIFT_RECORD_VERSION,
+    DriftConfig,
+    DriftMonitor,
+    DriftReport,
+    psi,
+)
+from repro.errors import DriftError
+
+
+def feed_window(
+    monitor: DriftMonitor,
+    margins,
+    *,
+    labels=None,
+    verdicts=None,
+    families=None,
+) -> DriftReport | None:
+    """Push one value per margin and return the (single) completed report."""
+    n = len(margins)
+    labels = labels if labels is not None else [None] * n
+    verdicts = verdicts if verdicts is not None else [1 if m > 0 else -1 for m in margins]
+    families = families if families is not None else [None] * n
+    report = None
+    for m, label, verdict, family in zip(margins, labels, verdicts, families):
+        monitor.observe(float(m), int(verdict), label=label, family=family)
+        out = monitor.maybe_evaluate()
+        if out is not None:
+            assert report is None, "window evaluated twice"
+            report = out
+    return report
+
+
+def margins_like(mean: float, n: int = 50, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(loc=mean, scale=1.0, size=n)
+
+
+def quiet_config(**overrides) -> DriftConfig:
+    # psi_threshold sits above PSI sampling noise for 50-sample windows with
+    # 10 bins (~ (bins-1)*2/window = 0.36) but far below a real shift (>5)
+    base = dict(window=50, min_feedback=10, cooldown_windows=2, psi_threshold=0.6)
+    base.update(overrides)
+    return DriftConfig(**base)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        DriftConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": -1},
+            {"min_feedback": 0},
+            {"accuracy_floor": 0.4, "rollback_floor": 0.6},
+            {"accuracy_floor": 1.5},
+            {"psi_threshold": 0.0},
+            {"margin_sigma": -1.0},
+            {"psi_bins": 1},
+        ],
+    )
+    def test_rejects_bad_thresholds(self, kwargs):
+        with pytest.raises(DriftError):
+            DriftConfig(**kwargs).validate()
+
+
+class TestPsi:
+    def test_identical_distributions_are_zero(self):
+        p = np.array([0.1, 0.2, 0.3, 0.4])
+        assert psi(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_distributions_are_large(self):
+        a = np.array([1.0, 0.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 0.0, 1.0])
+        assert psi(a, b) > 5.0
+
+    def test_symmetric_and_finite_with_empty_bins(self):
+        a = np.array([0.5, 0.5, 0.0])
+        b = np.array([0.0, 0.5, 0.5])
+        assert np.isfinite(psi(a, b))
+        assert psi(a, b) == pytest.approx(psi(b, a))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DriftError, match="shapes"):
+            psi(np.ones(3) / 3, np.ones(4) / 4)
+
+
+class TestWindows:
+    def test_first_window_freezes_reference_without_verdict(self):
+        monitor = DriftMonitor(quiet_config())
+        report = feed_window(monitor, margins_like(0.0))
+        assert report is not None
+        assert report.drifted is False and report.rollback is False
+        assert report.psi is None  # nothing to compare against yet
+        assert monitor.reference is not None
+        assert monitor.reference.mean == pytest.approx(report.margin_mean)
+        assert monitor.drift_verdicts == 0
+
+    def test_stable_stream_stays_quiet(self):
+        monitor = DriftMonitor(quiet_config())
+        feed_window(monitor, margins_like(0.0, seed=1))
+        for seed in (2, 3, 4):
+            report = feed_window(monitor, margins_like(0.0, seed=seed))
+            assert report.drifted is False
+            assert report.reasons == []
+        assert monitor.windows_evaluated == 4
+        assert monitor.drift_verdicts == 0
+
+    def test_margin_distribution_shift_fires_psi(self):
+        monitor = DriftMonitor(quiet_config())
+        feed_window(monitor, margins_like(0.0, seed=1))
+        report = feed_window(monitor, margins_like(6.0, seed=2))
+        assert report.drifted is True
+        assert any(r.startswith("psi=") for r in report.reasons)
+        assert any(r.startswith("margin_shift=") for r in report.reasons)
+        assert monitor.drift_verdicts == 1
+
+    def test_partial_window_returns_none(self):
+        monitor = DriftMonitor(quiet_config())
+        for m in margins_like(0.0, n=49):
+            monitor.observe(float(m), 1)
+            assert monitor.maybe_evaluate() is None
+        assert monitor.window_fill() == 49
+
+    def test_window_zero_disables_monitor(self):
+        monitor = DriftMonitor(quiet_config(window=0))
+        monitor.observe(1.0, 1, label=1)
+        assert monitor.maybe_evaluate() is None
+        assert monitor.scored_total == 0
+
+
+class TestAccuracyVerdicts:
+    def _labeled_window(self, monitor, accuracy: float, seed: int = 0):
+        """A full window whose labeled feedback has the given accuracy and
+        whose margins match the reference distribution (isolates the
+        accuracy verdict from the PSI one)."""
+        margins = margins_like(0.0, seed=seed)
+        n = len(margins)
+        wrong = int(round(n * (1.0 - accuracy)))
+        verdicts = [1] * n
+        labels = [-1] * wrong + [1] * (n - wrong)
+        return feed_window(monitor, margins, labels=labels, verdicts=verdicts)
+
+    def test_accuracy_floor_fires_without_rollback(self):
+        monitor = DriftMonitor(quiet_config(accuracy_floor=0.75, rollback_floor=0.4))
+        self._labeled_window(monitor, 1.0, seed=1)
+        report = self._labeled_window(monitor, 0.6, seed=1)
+        assert report.drifted is True
+        assert report.rollback is False
+        assert any(r.startswith("accuracy=") for r in report.reasons)
+        assert report.rolling_accuracy == pytest.approx(0.6)
+
+    def test_rollback_floor_raises_rollback_signal(self):
+        monitor = DriftMonitor(quiet_config(accuracy_floor=0.75, rollback_floor=0.5))
+        self._labeled_window(monitor, 1.0, seed=1)
+        report = self._labeled_window(monitor, 0.2, seed=1)
+        assert report.drifted is True and report.rollback is True
+        assert monitor.rollback_signals == 1
+
+    def test_sparse_labels_never_fire_accuracy(self):
+        monitor = DriftMonitor(quiet_config(min_feedback=10))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        # 5 labeled events, all wrong — below min_feedback, so no verdict
+        margins = margins_like(0.0, seed=2)
+        labels = [-1] * 5 + [None] * (len(margins) - 5)
+        report = feed_window(monitor, margins, labels=labels, verdicts=[1] * len(margins))
+        assert report.rolling_accuracy is None
+        assert report.drifted is False
+
+    def test_benign_family_fpr_attributed(self):
+        monitor = DriftMonitor(quiet_config(family_fpr=0.5, min_family=8))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        margins = margins_like(0.0, seed=2)
+        n = len(margins)
+        # one benign workload suddenly reads as attack; everything else fine
+        labels = [-1] * 10 + [1] * (n - 10)
+        verdicts = [1] * 10 + [1] * (n - 10)
+        families = ["ptr_chase"] * 10 + ["spectre_v1"] * (n - 10)
+        report = feed_window(monitor, margins, labels=labels, verdicts=verdicts, families=families)
+        assert any(r.startswith("family_fpr:ptr_chase") for r in report.reasons)
+        assert report.per_family["ptr_chase"]["false_positive_rate"] == 1.0
+        assert report.per_family["ptr_chase"]["kind"] == "benign"
+        assert report.per_family["spectre_v1"]["miss_rate"] == 0.0
+
+    def test_family_below_min_labels_is_reported_not_fired(self):
+        monitor = DriftMonitor(quiet_config(family_fpr=0.5, min_family=8))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        margins = margins_like(0.0, seed=2)
+        n = len(margins)
+        labels = [-1] * 3 + [1] * (n - 3)
+        families = ["rare"] * 3 + ["spectre_v1"] * (n - 3)
+        report = feed_window(monitor, margins, labels=labels, verdicts=[1] * n, families=families)
+        assert "rare" in report.per_family
+        assert not any("family_fpr" in r for r in report.reasons)
+
+
+class TestCooldownAndReset:
+    def test_cooldown_suppresses_then_rearms(self):
+        monitor = DriftMonitor(quiet_config(cooldown_windows=2))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        assert feed_window(monitor, margins_like(6.0, seed=2)).drifted is True
+        # two cooldown windows: reasons still recorded, verdict suppressed
+        for seed in (3, 4):
+            report = feed_window(monitor, margins_like(6.0, seed=seed))
+            assert report.reasons and report.drifted is False
+        # cooldown spent: the still-shifted stream fires again
+        assert feed_window(monitor, margins_like(6.0, seed=5)).drifted is True
+        assert monitor.drift_verdicts == 2
+
+    def test_rollback_signal_ignores_cooldown(self):
+        monitor = DriftMonitor(quiet_config(rollback_floor=0.5, cooldown_windows=5))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        bad = lambda seed: feed_window(  # noqa: E731
+            monitor,
+            margins_like(0.0, seed=seed),
+            labels=[-1] * 50,
+            verdicts=[1] * 50,
+        )
+        assert bad(2).rollback is True  # fires the verdict + cooldown
+        report = bad(3)
+        assert report.drifted is False  # cooling
+        assert report.rollback is True  # but a bad model is still bad
+
+    def test_reset_forgets_reference_and_partial_window(self):
+        monitor = DriftMonitor(quiet_config())
+        feed_window(monitor, margins_like(0.0, seed=1))
+        for m in margins_like(6.0, n=20, seed=2):
+            monitor.observe(float(m), 1)
+        monitor.reset()
+        assert monitor.reference is None
+        assert monitor.window_fill() == 0
+        # post-reset, the shifted distribution becomes the new normal
+        report = feed_window(monitor, margins_like(6.0, seed=3))
+        assert report.drifted is False and report.psi is None
+        assert feed_window(monitor, margins_like(6.0, seed=4)).drifted is False
+
+    def test_observe_rejects_bad_label(self):
+        monitor = DriftMonitor(quiet_config())
+        with pytest.raises(DriftError, match="label"):
+            monitor.observe(0.5, 1, label=0)
+
+
+class TestQuarantine:
+    def test_verdict_writes_complete_record(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        monitor = DriftMonitor(quiet_config(quarantine_dir=str(qdir)))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        margins = margins_like(6.0, seed=2)
+        labels = [1] * 12 + [None] * (len(margins) - 12)
+        families = ["prime_probe"] * 12 + [None] * (len(margins) - 12)
+        report = feed_window(
+            monitor, margins, labels=labels, verdicts=[-1] * len(margins), families=families
+        )
+        assert report.drifted
+        assert report.quarantined_to is not None
+        path = tmp_path / "quarantine" / "window_00001.json"
+        assert str(path) == report.quarantined_to
+        record = json.loads(path.read_text())
+        assert record["record_version"] == DRIFT_RECORD_VERSION
+        assert record["report"]["window"] == 1
+        assert record["report"]["reasons"] == report.reasons
+        assert len(record["margins"]) == 50
+        assert record["feedback"][0] == {"family": "prime_probe", "label": 1, "verdict": -1}
+        assert monitor.quarantined_windows == 1
+
+    def test_quiet_window_writes_nothing(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        monitor = DriftMonitor(quiet_config(quarantine_dir=str(qdir)))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        feed_window(monitor, margins_like(0.0, seed=2))
+        assert not qdir.exists() or not list(qdir.iterdir())
+
+    def test_unwritable_dir_degrades_to_telemetry_only(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the directory should go")
+        monitor = DriftMonitor(quiet_config(quarantine_dir=str(blocker / "sub")))
+        feed_window(monitor, margins_like(0.0, seed=1))
+        report = feed_window(monitor, margins_like(6.0, seed=2))
+        assert report.drifted is True  # the verdict survives the lost record
+        assert report.quarantined_to is None
+        assert monitor.quarantined_windows == 0
+
+
+class TestCounters:
+    def test_metrics_snapshot_tracks_activity(self):
+        monitor = DriftMonitor(quiet_config())
+        feed_window(monitor, margins_like(0.0, seed=1), labels=[1] * 50, verdicts=[1] * 50)
+        feed_window(monitor, margins_like(6.0, seed=2))
+        c = monitor.counters()
+        assert c["windows_evaluated"] == 2
+        assert c["scored"] == 100
+        assert c["feedback"] == 50
+        assert c["drift_verdicts"] == 1
+        assert c["reference_frozen"] is True
+        assert c["last_window"]["drifted"] is True
+        assert c["last_window"]["reasons"]

@@ -1,0 +1,243 @@
+"""Shift-schedule semantics: validation, determinism, phase boundaries.
+
+A schedule is the replay bench's ground truth — if its phase boundaries or
+its determinism slipped, every BENCH_drift number would silently stop
+meaning anything.  These tests pin: strict schedule validation, byte-level
+replay determinism (a stream is a pure function of ``(schedule, seed)``),
+exact phase-boundary behavior, bounded spec perturbation, JSON round-trips,
+and the ``load_schedule`` CLI argument grammar.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import GenSpecError
+from repro.gen import (
+    BUILTIN_SCHEDULES,
+    FAMILY_REGISTRY,
+    PRE_SHIFT_MIX,
+    ShiftPhase,
+    ShiftSchedule,
+    load_schedule,
+    perturb_spec,
+)
+from repro.gen.shift import attenuation_shift, novel_probe_shift
+from repro.sim.trace import encode_trace
+
+
+def two_phase(shift_at: int = 10) -> ShiftSchedule:
+    return novel_probe_shift(shift_at)
+
+
+class TestPhaseValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(GenSpecError, match=">= 0"):
+            ShiftPhase(at=-1, mix={"spectre_v1": 1.0})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(GenSpecError, match="empty"):
+            ShiftPhase(at=0, mix={})
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, "heavy", None])
+    def test_non_positive_weight_rejected(self, weight):
+        with pytest.raises(GenSpecError, match="weight"):
+            ShiftPhase(at=0, mix={"spectre_v1": weight})
+
+    def test_perturb_for_family_outside_mix_rejected(self):
+        with pytest.raises(GenSpecError, match="not in its mix"):
+            ShiftPhase(
+                at=0,
+                mix={"spectre_v1": 1.0},
+                perturb={"flush_reload": {"amplitude_mul": 0.5}},
+            )
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(GenSpecError, match="unknown phase fields"):
+            ShiftPhase.from_dict({"at": 0, "mix": {"spectre_v1": 1}, "shift": 3})
+
+
+class TestScheduleValidation:
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(GenSpecError, match="at least one phase"):
+            ShiftSchedule([])
+
+    def test_first_phase_must_start_at_zero(self):
+        with pytest.raises(GenSpecError, match="start at 0"):
+            ShiftSchedule([ShiftPhase(at=5, mix=dict(PRE_SHIFT_MIX))])
+
+    def test_starts_strictly_increasing(self):
+        phases = [
+            ShiftPhase(at=0, mix=dict(PRE_SHIFT_MIX)),
+            ShiftPhase(at=10, mix=dict(PRE_SHIFT_MIX)),
+            ShiftPhase(at=10, mix=dict(PRE_SHIFT_MIX)),
+        ]
+        with pytest.raises(GenSpecError, match="strictly increasing"):
+            ShiftSchedule(phases)
+
+    def test_unknown_family_named_with_candidates(self):
+        with pytest.raises(GenSpecError, match="unknown family 'rowhammer'"):
+            ShiftSchedule([ShiftPhase(at=0, mix={"rowhammer": 1.0})])
+
+
+class TestPhaseStructure:
+    def test_boundary_is_exact(self):
+        schedule = two_phase(shift_at=10)
+        assert schedule.phase_index(0) == 0
+        assert schedule.phase_index(9) == 0
+        assert schedule.phase_index(10) == 1
+        assert schedule.phase_index(10_000) == 1  # last phase holds forever
+        assert schedule.shift_points() == [10]
+        with pytest.raises(GenSpecError, match=">= 0"):
+            schedule.phase_index(-1)
+
+    def test_stream_draws_only_from_current_phase_mix(self):
+        schedule = two_phase(shift_at=10)
+        pre = set(schedule.phases[0].mix)
+        post = set(schedule.phases[1].mix)
+        for index in range(30):
+            name = schedule.spec_at(seed=3, index=index).name
+            assert name in (pre if index < 10 else post)
+
+    def test_pre_shift_is_phase_zero_forever(self):
+        schedule = two_phase(shift_at=10)
+        frozen = schedule.pre_shift()
+        assert len(frozen.phases) == 1
+        assert frozen.shift_points() == []
+        # beyond the original shift point, pre_shift still draws phase 0
+        names = {frozen.spec_at(seed=3, index=i).name for i in range(10, 60)}
+        assert names <= set(PRE_SHIFT_MIX)
+
+    def test_families_in_first_seen_order(self):
+        schedule = two_phase(shift_at=10)
+        fams = schedule.families()
+        assert fams[: len(PRE_SHIFT_MIX)] == list(PRE_SHIFT_MIX)
+        assert "prime_probe" in fams
+
+
+class TestDeterminism:
+    def test_stream_is_pure_function_of_schedule_and_seed(self):
+        a = two_phase(shift_at=5)
+        b = two_phase(shift_at=5)  # independent instance, same parameters
+        for index in (0, 4, 5, 17):
+            ta = a.synthesize(seed=7, index=index)
+            tb = b.synthesize(seed=7, index=index)
+            assert encode_trace(ta) == encode_trace(tb)
+
+    def test_seed_and_index_both_matter(self):
+        schedule = two_phase(shift_at=5)
+        base = encode_trace(schedule.synthesize(seed=7, index=2))
+        assert encode_trace(schedule.synthesize(seed=8, index=2)) != base
+        assert encode_trace(schedule.synthesize(seed=7, index=3)) != base
+
+    def test_stream_yields_indexed_traces(self):
+        schedule = two_phase(shift_at=5)
+        out = list(schedule.stream(seed=7, count=4, start=3))
+        assert [i for i, _ in out] == [3, 4, 5, 6]
+        for index, trace in out:
+            assert encode_trace(trace) == encode_trace(schedule.synthesize(7, index))
+
+    def test_pre_shift_indices_unchanged_by_later_phases(self):
+        # adding a phase at 10 must not disturb the bytes of indices 0..9
+        shifted = two_phase(shift_at=10)
+        frozen = shifted.pre_shift()
+        for index in range(10):
+            assert encode_trace(shifted.synthesize(5, index)) == encode_trace(
+                frozen.synthesize(5, index)
+            )
+
+
+class TestPerturbSpec:
+    def test_none_and_empty_are_identity(self):
+        spec = FAMILY_REGISTRY["spectre_v1"]
+        assert perturb_spec(spec, None) is spec
+        assert perturb_spec(spec, {}) is spec
+
+    def test_amplitude_and_signature_scale(self):
+        spec = FAMILY_REGISTRY["spectre_v1"]
+        out = perturb_spec(spec, {"amplitude_mul": 0.5, "signature_mul": 2.0})
+        assert out.amplitude[0] == pytest.approx(spec.amplitude[0] * 0.5)
+        assert out.amplitude[1] == pytest.approx(spec.amplitude[1] * 0.5)
+        for col, w in spec.signature.items():
+            assert out.signature[col] == pytest.approx(w * 2.0)
+        assert out.name == spec.name and out.label == spec.label
+
+    def test_burst_clamped_into_unit_interval(self):
+        spec = FAMILY_REGISTRY["spectre_v1"]
+        out = perturb_spec(spec, {"burst_mul": 50.0})
+        assert out.burst_frac[1] <= 1.0
+
+    def test_noise_clamped(self):
+        spec = FAMILY_REGISTRY["spectre_v1"]
+        out = perturb_spec(spec, {"noise_mul": 100.0})
+        assert 0.0 < out.noise <= 10.0
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(GenSpecError, match="unknown perturbation knobs"):
+            perturb_spec(FAMILY_REGISTRY["spectre_v1"], {"volume_mul": 2.0})
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, 101.0, "big"])
+    def test_out_of_range_knob_rejected(self, value):
+        with pytest.raises(GenSpecError, match="outside"):
+            perturb_spec(FAMILY_REGISTRY["spectre_v1"], {"amplitude_mul": value})
+
+    def test_attenuation_schedule_uses_perturbed_specs(self):
+        schedule = attenuation_shift(5, amplitude_mul=0.25)
+        base = FAMILY_REGISTRY["spectre_v1"]
+        # find a post-shift index that drew the perturbed attack family
+        for index in range(5, 60):
+            spec = schedule.spec_at(seed=1, index=index)
+            if spec.name == "spectre_v1":
+                assert spec.amplitude[1] == pytest.approx(base.amplitude[1] * 0.25)
+                break
+        else:
+            pytest.fail("no post-shift spectre_v1 draw in 55 indices")
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_stream(self):
+        schedule = attenuation_shift(7)
+        clone = ShiftSchedule.from_dict(json.loads(json.dumps(schedule.to_dict())))
+        assert clone.to_dict() == schedule.to_dict()
+        for index in (0, 6, 7, 20):
+            assert encode_trace(clone.synthesize(3, index)) == encode_trace(
+                schedule.synthesize(3, index)
+            )
+
+    def test_from_dict_rejects_malformed_document(self):
+        with pytest.raises(GenSpecError, match="phases"):
+            ShiftSchedule.from_dict({"stages": []})
+
+
+class TestLoadSchedule:
+    def test_builtin_with_shift_index(self):
+        schedule = load_schedule("novel_probe_shift:25")
+        assert schedule.shift_points() == [25]
+
+    def test_every_builtin_resolves(self):
+        for name in BUILTIN_SCHEDULES:
+            assert load_schedule(f"{name}:10").shift_points() == [10]
+
+    def test_builtin_without_index_rejected(self):
+        with pytest.raises(GenSpecError, match="needs a shift index"):
+            load_schedule("evasive_shift")
+
+    def test_non_integer_index_rejected(self):
+        with pytest.raises(GenSpecError, match="integer shift index"):
+            load_schedule("evasive_shift:soon")
+
+    def test_shift_index_must_be_positive(self):
+        with pytest.raises(GenSpecError, match=">= 1"):
+            load_schedule("evasive_shift:0")
+
+    def test_json_file_path(self, tmp_path):
+        doc = novel_probe_shift(12).to_dict()
+        path = tmp_path / "schedule.json"
+        path.write_text(json.dumps(doc))
+        assert load_schedule(str(path)).shift_points() == [12]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(GenSpecError, match="cannot load schedule"):
+            load_schedule(str(tmp_path / "nope.json"))
