@@ -46,6 +46,13 @@ Three kernels:
   the default stays small because hashed slots are shared across most
   sample pairs and stale wide-batch decisions over-update toward the
   majority class.
+
+A fourth, :func:`fit_epoch_native`, is the reference loop compiled to C
+(:mod:`repro.model._native`): same sequential order, same integer
+arithmetic, bit-identical weights — available only where a C compiler (or a
+cached build) exists, which :func:`resolve_kernel` probes when asked for
+``"auto"``.  The native path reads ``plan.flat`` directly and never touches
+the CSR, so the plan builds its dedup lazily.
 """
 
 from __future__ import annotations
@@ -53,6 +60,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..errors import ModelError
+from . import _native
 
 #: adaptive block bounds for :func:`fit_epoch_blocked`; tuned on the seed
 #: corpus — small floor because dense early epochs advance only a couple of
@@ -76,20 +86,30 @@ class TrainPlan:
     ``ucount`` — multiplicity of each unique index (hash collisions inside a
     sample map several features to one slot).
     ``uoffs``  — ``(n_samples + 1,)`` row offsets into ``uidx``/``ucount``.
+
+    The CSR triple is built lazily on first access: the numpy kernels need
+    it for their scatter updates, but the native kernel walks ``flat``
+    directly, and skipping the row-wise ``np.sort`` is a measurable slice of
+    a small-corpus fit.
     """
 
     flat: np.ndarray
-    uidx: np.ndarray
-    ucount: np.ndarray
-    uoffs: np.ndarray
+    #: lazily-built (uidx, ucount, uoffs) dedup, see :meth:`_ensure_csr`
+    _csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
     #: lazily-allocated (n_samples, n_features) buffer reused by every
     #: epoch's row permutation, so 20 epochs cost one allocation
     _row_scratch: np.ndarray | None = None
 
     @classmethod
     def from_flat(cls, flat: np.ndarray) -> "TrainPlan":
+        return cls(flat=flat)
+
+    def _ensure_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Build the dedup CSR fully vectorized (row-wise sort + first-
         occurrence mask); costs one ``np.sort`` over the index matrix."""
+        if self._csr is not None:
+            return self._csr
+        flat = self.flat
         n, f = flat.shape
         sf = np.sort(flat, axis=1)
         first = np.ones((n, f), dtype=bool)
@@ -107,12 +127,26 @@ class TrainPlan:
         if len(nxt):
             nxt[-1] = sf.size
         ucount = (nxt - first_pos).astype(np.int32)
-        return cls(flat=flat, uidx=uidx, ucount=ucount, uoffs=uoffs)
+        self._csr = (uidx, ucount, uoffs)
+        return self._csr
+
+    @property
+    def uidx(self) -> np.ndarray:
+        return self._ensure_csr()[0]
+
+    @property
+    def ucount(self) -> np.ndarray:
+        return self._ensure_csr()[1]
+
+    @property
+    def uoffs(self) -> np.ndarray:
+        return self._ensure_csr()[2]
 
     def sample(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         """The unique indices and multiplicities of sample ``i``."""
-        s, e = self.uoffs[i], self.uoffs[i + 1]
-        return self.uidx[s:e], self.ucount[s:e]
+        uidx, ucount, uoffs = self._ensure_csr()
+        s, e = uoffs[i], uoffs[i + 1]
+        return uidx[s:e], ucount[s:e]
 
     def permuted_rows(self, order: np.ndarray) -> np.ndarray:
         """``flat`` rows in ``order``, written into the reused scratch."""
@@ -243,9 +277,52 @@ def fit_epoch_minibatch(
     return updates
 
 
+def fit_epoch_native(
+    w: np.ndarray,
+    plan: TrainPlan,
+    y: np.ndarray,
+    order: np.ndarray,
+    theta: float,
+    clamp: int,
+) -> int:
+    """The reference loop compiled to C — bit-identical, no CSR needed.
+
+    Raises :class:`ModelError` when no compiler or cached build is
+    available; callers wanting graceful degradation go through
+    :func:`resolve_kernel`.
+    """
+    if not _native.available():
+        raise ModelError(
+            "native kernel unavailable (no C compiler and no cached build); "
+            "use kernel='auto' to fall back automatically"
+        )
+    return _native.fit_epoch(w, plan.flat, y, order, theta, clamp)
+
+
 #: online kernels, selectable by name; minibatch is a *mode*, not a kernel,
 #: because it changes training order rather than just the execution plan
 ONLINE_KERNELS = {
     "blocked": fit_epoch_blocked,
+    "native": fit_epoch_native,
     "reference": fit_epoch_reference,
 }
+
+#: kernel names accepted by ``fit``/``fit_epoch``/``partial_fit``: the
+#: concrete kernels plus ``auto`` (best available, always bit-identical)
+KERNEL_CHOICES = ("auto", *sorted(ONLINE_KERNELS))
+
+
+def resolve_kernel(name: str) -> str:
+    """Map a requested kernel name to a concrete ``ONLINE_KERNELS`` entry.
+
+    ``auto`` picks the native kernel when a compiled build is usable and the
+    blocked numpy kernel otherwise — the two are bit-identical, so the
+    choice is invisible to everything but wall-clock.
+    """
+    if name == "auto":
+        return "native" if _native.available() else "blocked"
+    if name not in ONLINE_KERNELS:
+        raise ModelError(
+            f"unknown kernel {name!r}; expected one of {list(KERNEL_CHOICES)}"
+        )
+    return name

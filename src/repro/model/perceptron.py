@@ -14,7 +14,13 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ModelError
-from .kernels import ONLINE_KERNELS, TrainPlan, fit_epoch_minibatch
+from . import _native
+from .kernels import (
+    ONLINE_KERNELS,
+    TrainPlan,
+    fit_epoch_minibatch,
+    resolve_kernel,
+)
 
 MODEL_VERSION = 1
 
@@ -27,6 +33,25 @@ DEFAULT_BATCH_SIZE = 8192
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX = np.uint64(0xBF58476D1CE4E5B9)
+
+
+def quantize_bins(X: np.ndarray, n_bins: int) -> np.ndarray:
+    """Map z-scored values into ``n_bins`` integer buckets over [-4, 4],
+    packed as uint8.
+
+    This is the only part of index hashing that reads the feature *values*,
+    and it is salt-free — every ensemble member with the same ``n_bins``
+    shares it.  The trainer and scorer compute it once per matrix and hand
+    the bins to each member; the shared-memory train pool ships this uint8
+    matrix (8x smaller than the float64 features) instead of ``X`` itself.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    scaled = np.clip(X, -4.0, 4.0)
+    scaled += 4.0
+    scaled *= n_bins / 8.0
+    bins = scaled.astype(np.int64)
+    np.minimum(bins, n_bins - 1, out=bins)
+    return bins.astype(np.uint8)
 
 
 class HashedPerceptron:
@@ -43,6 +68,10 @@ class HashedPerceptron:
     ):
         if n_features < 1:
             raise ModelError("n_features must be >= 1")
+        if not (1 <= int(n_bins) <= 256):
+            # quantized bins pack into uint8 so ensembles and the shm train
+            # pool can share one bins matrix across members
+            raise ModelError(f"n_bins must be in [1, 256], got {n_bins}")
         self.n_features = int(n_features)
         self.n_tables = int(n_tables)
         self.table_bits = int(table_bits)
@@ -64,29 +93,38 @@ class HashedPerceptron:
     # -- hashing ---------------------------------------------------------
 
     def _quantize(self, X: np.ndarray) -> np.ndarray:
-        """Map z-scored values into ``n_bins`` integer buckets over [-4, 4]."""
-        scaled = np.clip(X, -4.0, 4.0)
-        scaled += 4.0
-        scaled *= self.n_bins / 8.0
-        bins = scaled.astype(np.int64)
-        np.minimum(bins, self.n_bins - 1, out=bins)
+        """Member-config view of :func:`quantize_bins` (uint8 buckets)."""
+        return quantize_bins(X, self.n_bins)
+
+    def _check_bins(self, bins: np.ndarray) -> np.ndarray:
+        bins = np.asarray(bins)
+        if bins.ndim != 2 or bins.shape[1] != self.n_features:
+            raise ModelError(
+                f"bins shape {bins.shape} does not match n_features={self.n_features}"
+            )
+        if bins.dtype != np.uint8:
+            raise ModelError(f"quantized bins must be uint8, got {bins.dtype}")
         return bins
 
-    def _indices(self, X: np.ndarray) -> np.ndarray:
-        """Per-sample weight index for every feature: (n_samples, n_features).
+    def _table_offsets(self) -> np.ndarray:
+        """Per-feature flat-index base (table id * table size), int32."""
+        return (self._tables * self.table_size).astype(np.int32)
 
-        The hash arithmetic runs in place on one uint64 buffer — index
-        construction is memory-bound at corpus scale, so every avoided
-        temporary is a full pass over an (n_samples, n_features) matrix.
-        """
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim != 2 or X.shape[1] != self.n_features:
-            raise ModelError(
-                f"input shape {X.shape} does not match n_features={self.n_features}"
+    def _flat_from_bins(self, bins: np.ndarray) -> np.ndarray:
+        """Flat weight index per (sample, feature) from quantized bins, as
+        int32 — the weight space is n_tables * table_size entries, far below
+        2**31, and the narrower dtype halves every training-epoch gather."""
+        bins = self._check_bins(bins)
+        if _native.available():
+            return _native.hash_indices(
+                np.ascontiguousarray(bins),
+                self._salts,
+                self._table_offsets(),
+                self.table_size - 1,
             )
-        # int64 -> uint64 view is the same bits as astype for every value
-        # (two's-complement wrap), without another full-matrix copy
-        h = self._quantize(X).view(np.uint64)
+        # bins are small non-negative ints, so the uint64 upcast is the same
+        # bits the old int64 view produced; the hash then runs in place
+        h = bins.astype(np.uint64)
         with np.errstate(over="ignore"):
             h *= _GOLDEN
             h += self._salts[None, :]
@@ -94,40 +132,63 @@ class HashedPerceptron:
         h >>= np.uint64(17)
         out = h.view(np.int64)  # free reinterpret: values are < 2**47 here
         out &= self.table_size - 1
-        return out
+        out += self._tables[None, :] * self.table_size
+        return out.astype(np.int32)
 
-    def _flat_indices(self, X: np.ndarray) -> np.ndarray:
-        """Flat weight index per (sample, feature), as int32 — the weight
-        space is n_tables * table_size entries, far below 2**31, and the
-        narrower dtype halves the bandwidth of every training-epoch gather."""
-        idx = self._indices(X)
-        idx += self._tables[None, :] * self.table_size
-        return idx.astype(np.int32)
-
-    # -- inference -------------------------------------------------------
-
-    def decision(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
-        """Signed margin per sample.
-
-        Scoring materializes a ``(n_samples, n_features)`` int64 index matrix,
-        so large matrices are processed in ``batch_size`` chunks (default
-        :data:`DEFAULT_BATCH_SIZE`).  Per-row sums are independent, so
-        chunking is bit-identical to one shot.
-        """
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.n_features:
             raise ModelError(
                 f"input shape {X.shape} does not match n_features={self.n_features}"
             )
+        return X
+
+    def _flat_indices(self, X: np.ndarray) -> np.ndarray:
+        return self._flat_from_bins(self._quantize(self._check_X(X)))
+
+    # -- inference -------------------------------------------------------
+
+    def decision(
+        self,
+        X: np.ndarray | None,
+        *,
+        batch_size: int | None = None,
+        bins: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Signed margin per sample.
+
+        Pass ``bins`` (a precomputed :func:`quantize_bins` matrix) to skip
+        the quantize pass — ensemble scoring quantizes once and shares the
+        result across members, which is bit-identical because quantization
+        is salt-free.  The numpy path materializes a ``(n_samples,
+        n_features)`` index matrix, so large matrices are processed in
+        ``batch_size`` chunks (default :data:`DEFAULT_BATCH_SIZE`); per-row
+        sums are independent, so chunking is bit-identical to one shot.
+        The native path fuses hash+gather+sum and never materializes the
+        index matrix at all.
+        """
+        if bins is None:
+            bins = self._quantize(self._check_X(X))
+        else:
+            bins = self._check_bins(bins)
+        w = np.ascontiguousarray(self.weights.ravel())
+        if _native.available():
+            margins = _native.margins_from_bins(
+                w,
+                np.ascontiguousarray(bins),
+                self._salts,
+                self._table_offsets(),
+                self.table_size - 1,
+            )
+            return margins.astype(np.float64)
         batch = batch_size if batch_size and batch_size > 0 else DEFAULT_BATCH_SIZE
-        n = X.shape[0]
+        n = bins.shape[0]
         if n <= batch:
-            flat = self._flat_indices(X)
-            return self.weights.ravel()[flat].sum(axis=1).astype(np.float64)
+            flat = self._flat_from_bins(bins)
+            return w[flat].sum(axis=1).astype(np.float64)
         out = np.empty(n, dtype=np.float64)
-        w = self.weights.ravel()
         for start in range(0, n, batch):
-            flat = self._flat_indices(X[start : start + batch])
+            flat = self._flat_from_bins(bins[start : start + batch])
             out[start : start + batch] = w[flat].sum(axis=1)
         return out
 
@@ -144,14 +205,15 @@ class HashedPerceptron:
         return y.astype(np.int64, copy=False)
 
     def fit_epoch(
-        self, X: np.ndarray, y: np.ndarray, *, shuffle_rng=None, kernel: str = "blocked"
+        self, X: np.ndarray, y: np.ndarray, *, shuffle_rng=None, kernel: str = "auto"
     ) -> int:
         """One online pass; returns the number of weight updates made.
 
-        ``kernel`` selects the execution plan (``blocked`` or ``reference``);
-        both produce bit-identical weights, which the equivalence tests pin.
-        Standalone calls recompute the hash indices — :meth:`fit` computes
-        them once and reuses them across every epoch.
+        ``kernel`` selects the execution plan (``auto``, ``native``,
+        ``blocked``, or ``reference``); every online kernel produces
+        bit-identical weights, which the equivalence tests pin.  Standalone
+        calls recompute the hash indices — :meth:`fit` computes them once
+        and reuses them across every epoch.
         """
         y = self._check_labels(y)
         plan = TrainPlan.from_flat(self._flat_indices(X))
@@ -163,12 +225,7 @@ class HashedPerceptron:
     def _run_online_epoch(
         self, plan: TrainPlan, y: np.ndarray, order: np.ndarray, kernel: str
     ) -> int:
-        try:
-            fn = ONLINE_KERNELS[kernel]
-        except KeyError:
-            raise ModelError(
-                f"unknown kernel {kernel!r}; expected one of {sorted(ONLINE_KERNELS)}"
-            ) from None
+        fn = ONLINE_KERNELS[resolve_kernel(kernel)]
         return fn(self.weights.ravel(), plan, y, order, self.theta, self.weight_clamp)
 
     def partial_fit(
@@ -177,7 +234,7 @@ class HashedPerceptron:
         y: np.ndarray,
         *,
         seed: int | None = None,
-        kernel: str = "blocked",
+        kernel: str = "auto",
         shuffle: bool = True,
     ) -> int:
         """One incremental online pass over a labeled batch; returns the
@@ -208,26 +265,30 @@ class HashedPerceptron:
         epochs: int = 20,
         seed: int | None = None,
         mode: str = "online",
-        kernel: str = "blocked",
+        kernel: str = "auto",
         minibatch_size: int | None = None,
+        bins: np.ndarray | None = None,
     ) -> list[int]:
         """Train until an epoch makes no misprediction-driven updates or the
         epoch budget runs out; returns per-epoch update counts.
 
         Label validation and hash-index computation run **once** here and are
         reused by every epoch.  ``mode="online"`` (default) is the sequential
-        threshold rule, bit-identical for either ``kernel``;
+        threshold rule, bit-identical for every ``kernel``;
         ``mode="minibatch"`` applies the rule per mini-batch — a different
-        but accuracy-equivalent training order.
+        but accuracy-equivalent training order.  ``bins`` optionally supplies
+        the precomputed (salt-free) :func:`quantize_bins` matrix for ``X`` so
+        ensemble trainers quantize once per matrix instead of once per
+        member; the shared-memory pool passes an attached read-only view.
         """
         if mode not in FIT_MODES:
             raise ModelError(f"unknown fit mode {mode!r}; expected one of {FIT_MODES}")
-        if mode == "online" and kernel not in ONLINE_KERNELS:
-            raise ModelError(
-                f"unknown kernel {kernel!r}; expected one of {sorted(ONLINE_KERNELS)}"
-            )
+        if mode == "online":
+            kernel = resolve_kernel(kernel)
         y = self._check_labels(y)
-        plan = TrainPlan.from_flat(self._flat_indices(X))
+        if bins is None:
+            bins = self._quantize(self._check_X(X))
+        plan = TrainPlan.from_flat(self._flat_from_bins(bins))
         w = self.weights.ravel()
         rng = np.random.default_rng(self.seed if seed is None else seed)
         n = len(y)
@@ -371,12 +432,30 @@ def ensemble_margins(
         raise ModelError(
             f"got {len(scales)} margin scales for {len(models)} ensemble members"
         )
+    bins = _shared_quantize(models, X)
     total = np.zeros(np.asarray(X).shape[0], dtype=np.float64)
     for k, model in enumerate(models):
-        d = model.decision(X, batch_size=batch_size)
+        d = model.decision(X, batch_size=batch_size, bins=bins)
         scale = float(scales[k]) if scales is not None else np.abs(d).mean()
         total += d / (scale + 1e-9)
     return total / len(models)
+
+
+def _shared_quantize(models, X: np.ndarray) -> np.ndarray | None:
+    """One :func:`quantize_bins` matrix for the whole ensemble, or None when
+    members disagree on quantization config (each then quantizes itself).
+    Quantization is salt-free, so sharing it is bit-identical."""
+    first = models[0]
+    if any(
+        m.n_bins != first.n_bins or m.n_features != first.n_features for m in models
+    ):
+        return None
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != first.n_features:
+        raise ModelError(
+            f"input shape {X.shape} does not match n_features={first.n_features}"
+        )
+    return quantize_bins(X, first.n_bins)
 
 
 def ensemble_partial_fit(
@@ -385,7 +464,7 @@ def ensemble_partial_fit(
     y: np.ndarray,
     *,
     seed: int | None = None,
-    kernel: str = "blocked",
+    kernel: str = "auto",
 ) -> list[int]:
     """One :meth:`HashedPerceptron.partial_fit` pass per ensemble member;
     returns per-member update counts.
@@ -411,8 +490,10 @@ def margin_scales(models, X: np.ndarray, *, batch_size: int | None = None) -> li
     artifact so serving-time margins do not depend on batch composition."""
     if not models:
         raise ModelError("ensemble is empty")
+    bins = _shared_quantize(models, X)
     return [
-        float(np.abs(model.decision(X, batch_size=batch_size)).mean()) for model in models
+        float(np.abs(model.decision(X, batch_size=batch_size, bins=bins)).mean())
+        for model in models
     ]
 
 

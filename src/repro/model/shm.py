@@ -1,0 +1,171 @@
+"""Shared-memory segment lifecycle for the zero-copy train pool.
+
+The pool's whole point is that workers *attach* to the featurized matrix
+instead of unpickling a private copy, so this module owns the one part
+that is easy to get wrong: who creates, who attaches, and who unlinks.
+
+The contract is strictly parent-owned:
+
+* ``share(arrays)`` (a context manager) creates one POSIX segment per
+  array in the parent, copies the data in once, and **guarantees**
+  close+unlink on exit — success, worker crash, or ``KeyboardInterrupt``
+  all funnel through the same ``finally``.
+* Workers attach via :class:`AttachedArrays` and get read-only numpy
+  views; they never unlink.  Pool workers share the parent's
+  ``resource_tracker`` process (both fork and spawn inherit its pipe), and
+  its per-type cache is a *set* — a worker attach re-registers the same
+  name as a no-op, and the parent's ``unlink()`` unregisters it exactly
+  once.  Crucially the worker must **not** unregister on attach: that
+  would strip the parent's sole registration from the shared set and turn
+  the parent's unlink into a tracker-side KeyError.  If the parent is
+  SIGKILL'd, the surviving tracker unlinks the still-registered segments
+  itself — the designed last-resort net.
+
+Segment names carry a ``repro-train-`` prefix plus a random token, which
+keeps them identifiable in ``/dev/shm`` and lets the leak tests assert
+there is no residue after every exit path.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..telemetry import get_logger, log_event
+
+logger = get_logger("repro.model.shm")
+
+#: every segment this module creates starts with this, so tests (and
+#: humans) can spot our residue in /dev/shm unambiguously
+SEGMENT_PREFIX = "repro-train-"
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Everything a worker needs to rebuild one array: name + layout.
+
+    This is the *only* payload the pool ships per array — a few dozen
+    bytes instead of the megabytes behind them.
+    """
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    def to_wire(self) -> tuple[str, str, tuple[int, ...]]:
+        return (self.segment, self.dtype, self.shape)
+
+    @classmethod
+    def from_wire(cls, wire: tuple[str, str, tuple[int, ...]]) -> SegmentSpec:
+        segment, dtype, shape = wire
+        return cls(segment=segment, dtype=dtype, shape=tuple(shape))
+
+
+class SharedArrays:
+    """Parent-side owner of a set of named shared-memory arrays.
+
+    Use as a context manager; ``__exit__`` closes *and unlinks* every
+    segment unconditionally.  ``specs`` is the picklable description to
+    ship to workers.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self.specs: dict[str, SegmentSpec] = {}
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        token = secrets.token_hex(4)
+        try:
+            for key, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                seg = shared_memory.SharedMemory(
+                    create=True,
+                    # max(1): zero-length arrays still need a valid segment
+                    size=max(1, arr.nbytes),
+                    name=f"{SEGMENT_PREFIX}{token}-{key}",
+                )
+                self._segments.append(seg)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[...] = arr
+                self.specs[key] = SegmentSpec(
+                    segment=seg.name, dtype=arr.dtype.str, shape=arr.shape
+                )
+        except BaseException:
+            self.close()
+            raise
+        log_event(
+            logger,
+            "shm.share",
+            segments=len(self._segments),
+            bytes=sum(s.size for s in self._segments),
+        )
+
+    def wire_specs(self) -> dict[str, tuple[str, str, tuple[int, ...]]]:
+        """Plain-tuple form of ``specs`` for cheap pickling to workers."""
+        return {k: v.to_wire() for k, v in self.specs.items()}
+
+    def close(self) -> None:
+        """Close and unlink every segment; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - buffer already released
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        if self._segments:
+            log_event(logger, "shm.unlink", segments=len(self._segments))
+        self._segments = []
+
+    def __enter__(self) -> SharedArrays:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AttachedArrays:
+    """Worker-side attachment: read-only views over parent-owned segments.
+
+    Never unlinks.  ``close()`` only releases this process's mapping; the
+    parent's ``SharedArrays.close()`` is what removes the segment.
+    """
+
+    def __init__(self, specs: dict[str, tuple[str, str, tuple[int, ...]]]):
+        self.arrays: dict[str, np.ndarray] = {}
+        self._segments: list[shared_memory.SharedMemory] = []
+        try:
+            for key, wire in specs.items():
+                spec = SegmentSpec.from_wire(wire)
+                seg = shared_memory.SharedMemory(name=spec.segment)
+                self._segments.append(seg)
+                view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+                view.flags.writeable = False
+                self.arrays[key] = view
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        # drop the numpy views first: SharedMemory.close() refuses while
+        # exported buffers are alive
+        self.arrays = {}
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+        self._segments = []
+
+    def __enter__(self) -> AttachedArrays:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -73,12 +73,16 @@ class PipelineConfig:
     batch_size: int | None = None
     #: training order: "online" (bit-identical default) or "minibatch"
     fit_mode: str = "online"
-    #: online epoch kernel: "blocked" (fast) or "reference" (naive spec)
-    fit_kernel: str = "blocked"
+    #: online epoch kernel: "auto" (native C when a compiler is available,
+    #: else blocked), "native", "blocked", or "reference" — all bit-identical
+    fit_kernel: str = "auto"
     #: samples per minibatch when fit_mode="minibatch"; None = kernel default
     minibatch_size: int | None = None
     #: ensemble-member training processes; <= 1 trains serially in-process
     train_workers: int = 1
+    #: pooled-training transport: "auto" (shared memory whenever pooled),
+    #: "on", or "off" (legacy per-worker matrix broadcast) — bit-identical
+    train_shm: str = "auto"
     #: when set, publish a versioned serving artifact (ensemble + normalizer
     #: + pinned margin scales) into this store after training
     artifact_root: str | None = None
@@ -226,8 +230,12 @@ def run_pipeline(config: PipelineConfig) -> dict:
 
     normalizer = Normalizer().fit(dataset.X[train_mask])
     normalizer.save(out_dir / "normalizer.json")
-    Xtr = normalizer.transform(dataset.X[train_mask])
-    Xte = normalizer.transform(dataset.X[test_mask])
+    # transform is elementwise per row (per-column constants only), so
+    # normalizing the full matrix once and slicing is bit-identical to
+    # transforming each slice — and eval reuses X_all instead of a third pass
+    X_all = normalizer.transform(dataset.X)
+    Xtr = X_all[train_mask]
+    Xte = X_all[test_mask]
     ytr = dataset.y[train_mask]
     yte = dataset.y[test_mask]
     t_features = time.monotonic()
@@ -241,6 +249,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
         mode=config.fit_mode,
         kernel=config.fit_kernel,
         workers=config.train_workers,
+        shm=config.train_shm,
     ) as train_span:
         members = train_ensemble(
             Xtr,
@@ -260,6 +269,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
                 "minibatch_size": config.minibatch_size,
             },
             workers=config.train_workers,
+            shm=config.train_shm,
         )
         for k, member in enumerate(members):
             member.model.save(out_dir / "models" / f"member_{k}.npz")
@@ -297,9 +307,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
     interval_acc = (
         float((np.where(margins_test > 0, 1, -1) == yte).mean()) if len(yte) else float("nan")
     )
-    margins_all = ensemble_margins(
-        models, normalizer.transform(dataset.X), batch_size=config.batch_size
-    )
+    margins_all = ensemble_margins(models, X_all, batch_size=config.batch_size)
     verdicts = trace_verdicts(margins_all, dataset.groups, len(dataset.traces))
     truth = dataset.trace_labels()
     margin_sums = np.bincount(dataset.groups, weights=margins_all, minlength=len(dataset.traces))
@@ -368,6 +376,7 @@ def run_pipeline(config: PipelineConfig) -> dict:
             "fit_kernel": config.fit_kernel,
             "minibatch_size": config.minibatch_size,
             "train_workers": config.train_workers,
+            "train_shm": config.train_shm,
             "faults": vars(config.faults) if config.faults else None,
         },
         "ingest": ingest_doc,

@@ -61,10 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fit-kernel",
-        choices=("blocked", "reference"),
-        default="blocked",
-        help="online epoch kernel; both are bit-identical, reference is the "
-        "naive per-sample spec kept for regression triage",
+        choices=("auto", "native", "blocked", "reference"),
+        default="auto",
+        help="online epoch kernel; all are bit-identical — auto picks the "
+        "compiled native kernel when a C compiler is available and falls "
+        "back to blocked, reference is the naive per-sample spec kept for "
+        "regression triage",
     )
     parser.add_argument(
         "--minibatch-size",
@@ -79,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="ensemble-member training processes (1 = serial in-process); "
         "semantics-free like --workers",
+    )
+    parser.add_argument(
+        "--train-shm",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="pooled-training transport: shared-memory segments (workers "
+        "attach to one quantized matrix) vs legacy per-worker broadcast; "
+        "bit-identical either way, auto = shm whenever pooled",
     )
     parser.add_argument(
         "--faults",
@@ -134,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
         fit_kernel=args.fit_kernel,
         minibatch_size=args.minibatch_size,
         train_workers=args.train_workers,
+        train_shm=args.train_shm,
         artifact_root=args.artifact_root,
     )
     try:

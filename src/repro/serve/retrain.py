@@ -15,8 +15,15 @@ nothing else.
 
 ``--mode partial`` runs ``--passes`` incremental :func:`ensemble_partial_fit`
 passes starting from the base weights (the streaming path the bit-identity
-property test pins); ``--mode full`` zeroes the weights first and refits from
-scratch on the feedback batch with the standard :meth:`fit` loop.
+property test pins); ``--mode full`` refits every member from scratch on the
+feedback batch through :func:`~repro.model.train_ensemble` — which means
+full retrains get the same ``--train-workers`` / ``--train-shm`` transport
+as the batch pipeline, and a supervisor-driven production retrain stops
+re-pickling the feedback matrix per worker.  Member fits are pure functions
+of ``(seed, data)``, so the pooled/shm retrain is bit-identical to the
+serial one (pinned by the serve-drift tests).  Partial mode always trains
+in-process: it *continues from the base weights*, which the from-scratch
+pool contract does not cover, and a few incremental passes are cheap.
 
 The feedback ``.npz`` carries ``X`` (stacked interval rows), ``groups``
 (per-row trace id), and ``labels`` (per-trace ±1); per-row labels are the
@@ -33,12 +40,41 @@ import sys
 import numpy as np
 
 from ..errors import ReproError, RetrainFailed
-from ..model import ArtifactStore, ensemble_partial_fit, margin_scales
+from ..model import ArtifactStore, ensemble_partial_fit, margin_scales, train_ensemble
+from ..model.train_pool import SHM_CHOICES
 from ..telemetry import get_logger, log_event
 
 logger = get_logger("repro.serve.retrain")
 
 RETRAIN_MODES = ("partial", "full")
+
+
+def _pool_kwargs(models) -> tuple[dict, list[int]] | None:
+    """(model_kwargs, seeds) to rebuild ``models`` from scratch via
+    :func:`train_ensemble`, or None when the ensemble cannot be expressed
+    that way (per-member config drift, or salts that do not derive from the
+    stored seed — possible for hand-edited artifacts).  None sends the full
+    retrain down the in-process loop instead of silently changing models."""
+    first = models[0]
+    kwargs = {
+        "n_tables": first.n_tables,
+        "table_bits": first.table_bits,
+        "n_bins": first.n_bins,
+        "theta": first.theta,
+        "weight_clamp": first.weight_clamp,
+    }
+    for m in models:
+        if (
+            m.n_features != first.n_features
+            or any(getattr(m, k) != v for k, v in kwargs.items())
+        ):
+            return None
+        # the pool reconstructs members from seed alone; that is only valid
+        # when the stored salts are exactly what the seed regenerates
+        fresh = type(m)(m.n_features, seed=m.seed, **kwargs)
+        if not np.array_equal(fresh._salts, m._salts):
+            return None
+    return kwargs, [m.seed for m in models]
 
 
 def load_feedback(path) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -74,12 +110,21 @@ def retrain(
     mode: str = "partial",
     passes: int = 2,
     seed: int = 0,
+    workers: int = 1,
+    shm: str = "auto",
 ) -> str:
-    """Train a candidate from ``base`` + feedback; returns its version."""
+    """Train a candidate from ``base`` + feedback; returns its version.
+
+    ``workers``/``shm`` select the :func:`train_ensemble` transport for
+    ``mode="full"`` — bit-identical for every combination; partial mode
+    ignores them (it continues in-process from the base weights).
+    """
     if mode not in RETRAIN_MODES:
         raise RetrainFailed(f"unknown retrain mode {mode!r}; expected {RETRAIN_MODES}")
     if passes < 1:
         raise RetrainFailed(f"passes must be >= 1, got {passes}")
+    if shm not in SHM_CHOICES:
+        raise RetrainFailed(f"unknown shm mode {shm!r}; expected {SHM_CHOICES}")
     store = ArtifactStore(artifact_root)
     loaded = store.load(base)
     X, groups, labels = load_feedback(data_path)
@@ -93,10 +138,28 @@ def retrain(
 
     models = loaded.models
     if mode == "full":
-        for model in models:
-            model.weights[:] = 0
-        for model in models:
-            model.fit(Z, y_rows, epochs=max(passes, 5), seed=seed)
+        pool = _pool_kwargs(models)
+        if pool is not None:
+            model_kwargs, seeds = pool
+            trained = train_ensemble(
+                Z,
+                y_rows,
+                n_features=loaded.n_features,
+                seeds=seeds,
+                model_kwargs=model_kwargs,
+                # one shared fit seed, matching the historical in-process loop
+                fit_kwargs={"epochs": max(passes, 5), "seed": seed},
+                workers=workers,
+                shm=shm,
+            )
+            for model, member in zip(models, trained):
+                model.weights = member.model.weights
+        else:
+            log_event(logger, "retrain.pool_unavailable", base=base)
+            for model in models:
+                model.weights[:] = 0
+            for model in models:
+                model.fit(Z, y_rows, epochs=max(passes, 5), seed=seed)
     else:
         for p in range(passes):
             ensemble_partial_fit(models, Z, y_rows, seed=seed + 1000 * p)
@@ -137,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode", choices=RETRAIN_MODES, default="partial")
     parser.add_argument("--passes", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--train-workers",
+        type=int,
+        default=1,
+        help="member-fit processes for --mode full (bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--train-shm",
+        choices=SHM_CHOICES,
+        default="auto",
+        help="pooled-training transport for --mode full (see repro.pipeline)",
+    )
     return parser
 
 
@@ -150,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
             mode=args.mode,
             passes=args.passes,
             seed=args.seed,
+            workers=args.train_workers,
+            shm=args.train_shm,
         )
     except ReproError as exc:
         print(json.dumps({"error": exc.describe()}), file=sys.stderr, flush=True)

@@ -274,6 +274,10 @@ class RetrainSupervisor:
             str(self.config.retrain_passes),
             "--seed",
             str(self.stats.retrains_started),
+            "--train-workers",
+            str(self.config.retrain_workers),
+            "--train-shm",
+            self.config.retrain_shm,
         ]
 
     @staticmethod

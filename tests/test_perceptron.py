@@ -66,7 +66,7 @@ def test_hash_seed_changes_table_assignment():
     X, _ = separable_set(n=10)
     a = HashedPerceptron(X.shape[1], seed=1)
     b = HashedPerceptron(X.shape[1], seed=2)
-    assert not np.array_equal(a._indices(X), b._indices(X))
+    assert not np.array_equal(a._flat_indices(X), b._flat_indices(X))
 
 
 def test_save_load_round_trip(tmp_path):

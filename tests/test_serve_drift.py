@@ -15,6 +15,7 @@ import asyncio
 import json
 import sys
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -463,6 +464,78 @@ class TestRetrain:
             retrain(str(root), v1, str(path), mode="magic")
         with pytest.raises(RetrainFailed, match="features"):
             retrain(str(root), v1, str(path), mode="partial")
+        with pytest.raises(RetrainFailed, match="unknown shm mode"):
+            retrain(str(root), v1, str(path), mode="full", shm="sideways")
+
+    def _feedback_path(self, tmp_path) -> "Path":
+        items = [
+            FeedbackItem(
+                rows=separable_rows(1 if i % 2 == 0 else -1, seed=300 + i),
+                label=1 if i % 2 == 0 else -1,
+            )
+            for i in range(8)
+        ]
+        path = tmp_path / "feedback.npz"
+        write_feedback_npz(path, items)
+        return path
+
+    def test_full_retrain_shm_pool_is_bit_identical_to_serial(
+        self, drift_root, tmp_path
+    ):
+        """`--train-workers N --train-shm on` full retrains must publish the
+        byte-identical candidate the serial non-shm path publishes."""
+        root, store, *_ , v1 = drift_root
+        path = self._feedback_path(tmp_path)
+        serial = retrain(
+            str(root), v1, str(path), mode="full", passes=3, seed=5,
+            workers=1, shm="off",
+        )
+        base_weights = [m.weights.copy() for m in store.load(serial).models]
+        for workers, shm in ((2, "on"), (2, "off"), (4, "auto")):
+            candidate = retrain(
+                str(root), v1, str(path), mode="full", passes=3, seed=5,
+                workers=workers, shm=shm,
+            )
+            models = store.load(candidate).models
+            for got, want in zip(models, base_weights):
+                np.testing.assert_array_equal(got.weights, want)
+
+    def test_full_retrain_subprocess_cli_matches_in_process(
+        self, drift_root, tmp_path
+    ):
+        """The supervisor's actual subprocess invocation with shm flags stays
+        bit-identical to the in-process non-shm retrain."""
+        import os
+        import subprocess
+
+        root, store, *_ , v1 = drift_root
+        path = self._feedback_path(tmp_path)
+        serial = retrain(
+            str(root), v1, str(path), mode="full", passes=3, seed=5,
+            workers=1, shm="off",
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.serve.retrain",
+                "--artifact-root", str(root), "--base", v1,
+                "--data", str(path), "--mode", "full",
+                "--passes", "3", "--seed", "5",
+                "--train-workers", "2", "--train-shm", "on",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        candidate = json.loads(proc.stdout.strip().splitlines()[-1])["candidate"]
+        for got, want in zip(
+            store.load(candidate).models, store.load(serial).models
+        ):
+            np.testing.assert_array_equal(got.weights, want.weights)
 
 
 # ---------------------------------------------------------------------------

@@ -161,3 +161,52 @@ def test_unknown_mode_and_kernel_are_typed_errors():
         model.fit(X, y, kernel="warp")
     with pytest.raises(ModelError):
         model.fit_epoch(X, y, kernel="warp")
+
+
+# -- native C kernel: same bits as the spec, or a typed refusal -------------
+
+
+def _native_available() -> bool:
+    from repro.model import _native
+
+    return _native.available()
+
+
+@pytest.mark.skipif(not _native_available(), reason="no C compiler available")
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+def test_native_kernel_matches_reference_bitwise(seed):
+    X, y = blobs(seed=seed)
+    ref = HashedPerceptron(X.shape[1], theta=5.0, seed=seed)
+    nat = HashedPerceptron(X.shape[1], theta=5.0, seed=seed)
+    ref_h = ref.fit(X, y, epochs=12, kernel="reference")
+    nat_h = nat.fit(X, y, epochs=12, kernel="native")
+    assert ref_h == nat_h, "update histories diverged"
+    np.testing.assert_array_equal(ref.weights, nat.weights)
+    np.testing.assert_array_equal(ref.decision(X), nat.decision(X))
+
+
+@pytest.mark.skipif(not _native_available(), reason="no C compiler available")
+def test_native_hash_and_margins_match_numpy_paths(monkeypatch):
+    """The fused native hash/scoring routines must agree with the pure-numpy
+    implementations bit-for-bit on the same trained weights."""
+    from repro.model import _native
+
+    X, y = blobs(seed=5)
+    model = HashedPerceptron(X.shape[1], theta=5.0, seed=9)
+    model.fit(X, y, epochs=6)
+    native_flat = model._flat_indices(X)
+    native_margins = model.decision(X)
+    # force the numpy fallback for the same model and inputs
+    monkeypatch.setattr(_native, "available", lambda: False)
+    np.testing.assert_array_equal(model._flat_indices(X), native_flat)
+    np.testing.assert_array_equal(model.decision(X), native_margins)
+
+
+def test_auto_kernel_resolves_to_a_real_kernel():
+    from repro.model.kernels import KERNEL_CHOICES, ONLINE_KERNELS, resolve_kernel
+
+    resolved = resolve_kernel("auto")
+    assert resolved in ONLINE_KERNELS
+    assert "auto" in KERNEL_CHOICES
+    with pytest.raises(ModelError):
+        resolve_kernel("warp")

@@ -11,6 +11,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.errors import ModelError
+from repro.faults import FaultPlan
 from repro.model import HashedPerceptron, train_ensemble
 from repro.pipeline import PipelineConfig, run_pipeline
 
@@ -87,8 +89,9 @@ def _run(out_dir: Path, **overrides) -> dict:
     metrics = json.loads((out_dir / "metrics.json").read_text())
     for key in _VOLATILE:
         metrics.pop(key, None)
-    # the knob under test is allowed to differ in the echoed config
+    # the knobs under test are allowed to differ in the echoed config
     metrics["config"].pop("train_workers", None)
+    metrics["config"].pop("train_shm", None)
     return metrics
 
 
@@ -133,3 +136,66 @@ def test_pipeline_fit_kernel_is_semantics_free(tmp_path, kernel):
     base["config"].pop("fit_kernel", None)
     variant["config"].pop("fit_kernel", None)
     assert variant == base
+
+
+# -- shared-memory transport: byte-identical across every worker count ------
+
+
+def _quarter_faults() -> FaultPlan:
+    """The 25% payload-corruption plan the shm bit-identity matrix runs on."""
+    return FaultPlan(corrupt_rate=0.25, seed=7)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_shm_pool_matches_serial_blocked_on_golden(tmp_path, workers):
+    serial = _run(tmp_path / "serial", train_workers=1, train_shm="off", fit_kernel="blocked")
+    shm = _run(
+        tmp_path / f"shm{workers}",
+        train_workers=workers,
+        train_shm="on",
+        fit_kernel="blocked",
+    )
+    assert shm == serial
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_shm_pool_matches_serial_blocked_under_faults(tmp_path, workers):
+    serial = _run(
+        tmp_path / "serial",
+        train_workers=1,
+        train_shm="off",
+        fit_kernel="blocked",
+        faults=_quarter_faults(),
+    )
+    shm = _run(
+        tmp_path / f"shm{workers}",
+        train_workers=workers,
+        train_shm="on",
+        fit_kernel="blocked",
+        faults=_quarter_faults(),
+    )
+    assert shm == serial
+
+
+def test_shm_model_artifacts_byte_identical(tmp_path):
+    _run(tmp_path / "serial", train_workers=1, train_shm="off")
+    _run(tmp_path / "shm", train_workers=4, train_shm="on")
+    for k in range(3):
+        a = HashedPerceptron.load(tmp_path / "serial" / "models" / f"member_{k}.npz")
+        b = HashedPerceptron.load(tmp_path / "shm" / "models" / f"member_{k}.npz")
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+
+def test_shm_transport_toggle_is_semantics_free(tmp_path):
+    on = _run(tmp_path / "on", train_workers=2, train_shm="on")
+    off = _run(tmp_path / "off", train_workers=2, train_shm="off")
+    auto = _run(tmp_path / "auto", train_workers=2, train_shm="auto")
+    assert on == off == auto
+
+
+def test_unknown_shm_mode_is_a_typed_error():
+    X, y = blobs()
+    with pytest.raises(ModelError):
+        train_ensemble(
+            X, y, n_features=X.shape[1], seeds=[1], workers=2, shm="sideways"
+        )

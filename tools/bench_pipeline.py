@@ -14,8 +14,11 @@ train group (cache A stays warm, training path varies):
 
 5. ``warm_ref_train``       ``--fit-kernel reference`` — the naive
    per-sample spec; its ``train_s`` is the training baseline
-6. ``warm_train_parallel``  ``--train-workers N`` — pooled member training
-7. ``warm_minibatch``       ``--fit-mode minibatch`` — batched rule (opt-in)
+6. ``warm_train_parallel``  ``--train-workers N --train-shm off`` — pooled
+   member training over the legacy per-worker broadcast transport
+7. ``warm_train_shm``       ``--train-workers N --train-shm on`` — pooled
+   member training attaching to one shared-memory bins matrix
+8. ``warm_minibatch``       ``--fit-mode minibatch`` — batched rule (opt-in)
 
 — then writes a machine-readable ``BENCH_pipeline.json`` (elapsed and
 per-stage timings, speedup ratios, cache hit counts) so successive PRs have
@@ -60,7 +63,7 @@ from repro.telemetry import get_logger, log_event  # noqa: E402
 
 logger = get_logger("repro.tools.bench")
 
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: metrics fields that must be identical across every benchmarked run
 #: (except ``warm_minibatch``, which is held to the accuracy tolerance)
@@ -99,6 +102,7 @@ def _one_run(
         "fit_mode": config.fit_mode,
         "fit_kernel": config.fit_kernel,
         "train_workers": config.train_workers,
+        "train_shm": config.train_shm,
         "elapsed_s": round(elapsed, 3),
         "timings": metrics["timings"],
         "cache": metrics["ingest"].get("cache"),
@@ -224,7 +228,16 @@ def main(argv: list[str] | None = None) -> int:
         ("cold_parallel", cache_b, {"workers": args.workers}),
         ("warm_parallel", cache_b, {"workers": args.workers}),
         ("warm_ref_train", cache_a, {"workers": 1, "fit_kernel": "reference"}),
-        ("warm_train_parallel", cache_a, {"workers": 1, "train_workers": args.workers}),
+        (
+            "warm_train_parallel",
+            cache_a,
+            {"workers": 1, "train_workers": args.workers, "train_shm": "off"},
+        ),
+        (
+            "warm_train_shm",
+            cache_a,
+            {"workers": 1, "train_workers": args.workers, "train_shm": "on"},
+        ),
         ("warm_minibatch", cache_a, {"workers": 1, "fit_mode": "minibatch"}),
     ]
     runs: dict[str, dict] = {}
@@ -283,6 +296,14 @@ def main(argv: list[str] | None = None) -> int:
             "train_minibatch_vs_reference": _ratio(
                 runs["warm_ref_train"]["timings"]["train_s"],
                 runs["warm_minibatch"]["timings"]["train_s"],
+            ),
+            "train_shm_vs_serial": _ratio(
+                runs["warm_serial"]["timings"]["train_s"],
+                runs["warm_train_shm"]["timings"]["train_s"],
+            ),
+            "train_shm_vs_broadcast_pool": _ratio(
+                runs["warm_train_parallel"]["timings"]["train_s"],
+                runs["warm_train_shm"]["timings"]["train_s"],
             ),
         },
         "minibatch_accuracy_gap": round(accuracy_gap, 6),
