@@ -1,7 +1,26 @@
-"""Feature layer: per-interval feature assembly, NaN/Inf sanitization, and
-z-score normalization with persisted statistics."""
+"""Feature layer: per-interval feature assembly, NaN/Inf sanitization,
+z-score normalization with persisted statistics, and the memory-mapped
+columnar dataset cache that makes warm corpus assembly a single mmap load."""
 
 from .assemble import Dataset, build_dataset
+from .dataset_cache import (
+    DATASET_CACHE_VERSION,
+    CorpusAssembly,
+    CorpusKey,
+    DatasetCache,
+    TraceMeta,
+    assemble_corpus,
+)
 from .normalize import Normalizer
 
-__all__ = ["Dataset", "build_dataset", "Normalizer"]
+__all__ = [
+    "Dataset",
+    "build_dataset",
+    "Normalizer",
+    "DATASET_CACHE_VERSION",
+    "CorpusAssembly",
+    "CorpusKey",
+    "DatasetCache",
+    "TraceMeta",
+    "assemble_corpus",
+]

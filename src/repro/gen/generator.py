@@ -270,11 +270,17 @@ def generate_corpus(
         "trace_version": TRACE_VERSION,
         "seed": seed,
         "count": count,
+        "interval_ticks": INTERVAL_TICKS,
         "stat_names": list(STAT_NAMES),
         "families": {
             spec.name: {
                 "count": counts[spec.name],
                 "label": spec.label,
+                # downstream consumers (dataset-cache provenance, per-family
+                # dashboards) read the kind/class without re-deriving it
+                # from the sign of ``label``
+                "kind": "attack" if spec.is_attack else "benign",
+                "attack_class": spec.attack_class,
                 "digest": family_digests[spec.name],
                 "spec": spec.to_dict(),
             }

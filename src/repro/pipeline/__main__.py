@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed decode cache; warm runs skip the salvage decoder",
     )
     parser.add_argument(
+        "--dataset-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memory-mapped assembled-dataset cache; a warm corpus skips "
+        "decode and assembly entirely (key sweep + one mmap load)",
+    )
+    parser.add_argument(
         "--batch-size",
         type=int,
         default=None,
@@ -139,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         n_models=args.n_models,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        dataset_cache_dir=args.dataset_cache_dir,
         batch_size=args.batch_size,
         fit_mode=args.fit_mode,
         fit_kernel=args.fit_kernel,
@@ -162,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     if metrics.get("artifact"):
         summary["artifact"] = metrics["artifact"]
+    if metrics.get("dataset_cache"):
+        summary["dataset_cache_hit"] = metrics["dataset_cache"].get("hit", False)
     print(json.dumps(summary, indent=2))
     return 0
 

@@ -29,6 +29,12 @@ The feedback ``.npz`` carries ``X`` (stacked interval rows), ``groups``
 (per-row trace id), and ``labels`` (per-trace ±1); per-row labels are the
 trace label broadcast over its rows, exactly how the batch trainer labels
 interval samples.
+
+``--data`` may also name a trace *corpus directory*: it is then assembled
+through the same two cache tiers as the batch pipeline (``--cache-dir`` /
+``--dataset-cache-dir``), so a supervisor full retrain over a captured
+corpus stops re-paying decode + assembly on every trigger — a warm corpus
+arrives as one memory-mapped load.
 """
 
 from __future__ import annotations
@@ -36,10 +42,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from ..errors import ReproError, RetrainFailed
+from ..features import assemble_corpus
 from ..model import ArtifactStore, ensemble_partial_fit, margin_scales, train_ensemble
 from ..model.train_pool import SHM_CHOICES
 from ..telemetry import get_logger, log_event
@@ -102,6 +110,36 @@ def load_feedback(path) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     return X, groups, labels
 
 
+def load_corpus_feedback(
+    path, *, cache_dir=None, dataset_cache_dir=None, workers: int = 1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(X, groups, labels) assembled from a trace corpus directory through
+    both cache tiers; labels come from the decoded trace metadata."""
+    try:
+        assembly = assemble_corpus(
+            path,
+            workers=workers,
+            cache_root=cache_dir,
+            dataset_cache_root=dataset_cache_dir,
+        )
+    except ReproError as exc:
+        raise RetrainFailed(f"cannot assemble corpus {path}: {exc}") from exc
+    dataset = assembly.dataset
+    log_event(
+        logger,
+        "retrain.corpus_assembled",
+        corpus=str(path),
+        traces=len(dataset.traces),
+        rows=dataset.n_samples,
+        dataset_cache_hit=bool((assembly.dataset_cache or {}).get("hit")),
+    )
+    return (
+        np.asarray(dataset.X, dtype=np.float64),
+        np.asarray(dataset.groups, dtype=np.int64),
+        dataset.trace_labels(),
+    )
+
+
 def retrain(
     artifact_root: str,
     base: str,
@@ -112,12 +150,16 @@ def retrain(
     seed: int = 0,
     workers: int = 1,
     shm: str = "auto",
+    cache_dir=None,
+    dataset_cache_dir=None,
 ) -> str:
     """Train a candidate from ``base`` + feedback; returns its version.
 
     ``workers``/``shm`` select the :func:`train_ensemble` transport for
     ``mode="full"`` — bit-identical for every combination; partial mode
     ignores them (it continues in-process from the base weights).
+    ``data_path`` is either a feedback ``.npz`` or a corpus directory
+    (assembled through the decode / dataset cache tiers).
     """
     if mode not in RETRAIN_MODES:
         raise RetrainFailed(f"unknown retrain mode {mode!r}; expected {RETRAIN_MODES}")
@@ -127,7 +169,15 @@ def retrain(
         raise RetrainFailed(f"unknown shm mode {shm!r}; expected {SHM_CHOICES}")
     store = ArtifactStore(artifact_root)
     loaded = store.load(base)
-    X, groups, labels = load_feedback(data_path)
+    if Path(data_path).is_dir():
+        X, groups, labels = load_corpus_feedback(
+            data_path,
+            cache_dir=cache_dir,
+            dataset_cache_dir=dataset_cache_dir,
+            workers=max(1, workers),
+        )
+    else:
+        X, groups, labels = load_feedback(data_path)
     if X.shape[1] != loaded.n_features:
         raise RetrainFailed(
             f"feedback has {X.shape[1]} features, base {base} expects {loaded.n_features}"
@@ -196,7 +246,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--artifact-root", required=True)
     parser.add_argument("--base", required=True, help="artifact version to start from")
-    parser.add_argument("--data", required=True, help="feedback .npz (X, groups, labels)")
+    parser.add_argument(
+        "--data",
+        required=True,
+        help="feedback .npz (X, groups, labels) or a trace corpus directory",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="per-trace decode cache when --data is a corpus directory",
+    )
+    parser.add_argument(
+        "--dataset-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="assembled-dataset cache when --data is a corpus directory "
+        "(warm retrains skip ingest entirely)",
+    )
     parser.add_argument("--mode", choices=RETRAIN_MODES, default="partial")
     parser.add_argument("--passes", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
@@ -227,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             workers=args.train_workers,
             shm=args.train_shm,
+            cache_dir=args.cache_dir,
+            dataset_cache_dir=args.dataset_cache_dir,
         )
     except ReproError as exc:
         print(json.dumps({"error": exc.describe()}), file=sys.stderr, flush=True)

@@ -1,0 +1,583 @@
+"""Dataset-cache tier: key sensitivity, mmap roundtrips, invalidation
+fallbacks, quarantine aliasing, and the vectorized ``build_dataset``.
+
+The tier's contract is "never worse than no cache": every test that damages
+an entry must see a logged event, a cold fallback, and metrics bit-identical
+to a run that never had a cache.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from conftest import make_trace, write_synthetic_corpus
+from repro.faults import FaultPlan
+from repro.features import Dataset, DatasetCache, assemble_corpus, build_dataset
+from repro.features import dataset_cache as dc_module
+from repro.features.dataset_cache import MANIFEST_NAME, entry_problems
+from repro.pipeline import PipelineConfig, run_pipeline
+
+
+def small_config(corpus, out, **overrides) -> PipelineConfig:
+    defaults = dict(
+        trace_dir=str(corpus),
+        out_dir=str(out),
+        test_frac=0.3,
+        epochs=8,
+        seed=7,
+        n_models=2,
+        theta=5.0,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+def stripped(metrics: dict) -> dict:
+    """Metrics minus the fields that legitimately differ between a cold and a
+    warm run (timestamps, wall clocks, cache bookkeeping)."""
+    doc = json.loads(json.dumps(metrics))
+    for key in ("created", "elapsed_s", "timings", "dataset_cache"):
+        doc.pop(key, None)
+    doc.get("ingest", {}).pop("cache", None)
+    return doc
+
+
+@pytest.fixture()
+def propagate_repro_logs(monkeypatch):
+    """telemetry installs a non-propagating handler on the ``repro`` root;
+    re-enable propagation so caplog can observe events."""
+    monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+
+
+# ---------------------------------------------------------------------------
+# satellite: vectorized build_dataset stays bit-identical to the naive loop
+# ---------------------------------------------------------------------------
+
+
+def _reference_build(traces):
+    """The historical trace-by-trace assembly, inlined as the oracle."""
+    from collections import Counter
+
+    widths = Counter(t.n_features for t in traces)
+    width = widths.most_common(1)[0][0]
+    kept, rows, labels, groups = [], [], [], []
+    for trace in traces:
+        if trace.n_features != width or trace.n_intervals == 0:
+            continue
+        group = len(kept)
+        kept.append(trace)
+        label = 1 if trace.is_attack else -1
+        for row in np.asarray(trace.rows, dtype=np.float64):
+            rows.append(row)
+            labels.append(label)
+            groups.append(group)
+    return (
+        np.vstack(rows),
+        np.array(labels, dtype=np.int64),
+        np.array(groups, dtype=np.int64),
+        kept,
+    )
+
+
+def test_vectorized_build_dataset_bit_identical():
+    traces = [
+        make_trace(program=f"p{i}", label=1 if i % 3 == 0 else -1,
+                   attack_class="ac" if i % 3 == 0 else None,
+                   n_intervals=1 + (i % 5), seed=i)
+        for i in range(17)
+    ]
+    # a foreign-width capture and a rowless trace: both must be skipped
+    traces.insert(3, make_trace(program="wrong_width", n_features=7, seed=99))
+    traces.insert(9, make_trace(program="empty", n_intervals=0, seed=98))
+
+    ds = build_dataset(traces)
+    X_ref, y_ref, g_ref, kept_ref = _reference_build(traces)
+
+    assert ds.X.dtype == np.float64 and ds.X.flags["C_CONTIGUOUS"]
+    assert np.array_equal(ds.X, X_ref)  # exact, not allclose
+    assert np.array_equal(ds.y, y_ref)
+    assert np.array_equal(ds.groups, g_ref)
+    assert ds.traces == kept_ref
+    assert {p for p, _ in ds.skipped} == {"wrong_width", "empty"}
+    # source_indices maps each kept trace back to its input position
+    assert all(traces[src] is ds.traces[k] for k, src in enumerate(ds.source_indices))
+
+
+# ---------------------------------------------------------------------------
+# corpus key: every byte and config knob that matters must move the digest
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_key_stability_and_sensitivity(tmp_path, monkeypatch):
+    corpus = tmp_path / "corpus"
+    paths = write_synthetic_corpus(corpus, n_benign=3, n_attack=3)
+    cache = DatasetCache(tmp_path / "dc")
+
+    base = cache.corpus_key(corpus)
+    assert base.files == 6 and base.bytes > 0
+    assert cache.corpus_key(corpus).digest == base.digest  # deterministic
+
+    # one flipped payload byte
+    blob = bytearray(paths[0].read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    paths[0].write_bytes(bytes(blob))
+    flipped = cache.corpus_key(corpus)
+    assert flipped.digest != base.digest
+    paths[0].write_bytes(bytes(blob))  # idempotent rewrite, key stable
+    assert cache.corpus_key(corpus).digest == flipped.digest
+
+    # added / removed files
+    extra = corpus / "extra.pkl"
+    extra.write_bytes(paths[1].read_bytes())
+    assert cache.corpus_key(corpus).digest != flipped.digest
+    extra.unlink()
+    removed = paths[2].read_bytes()
+    paths[2].unlink()
+    assert cache.corpus_key(corpus).digest != flipped.digest
+    paths[2].write_bytes(removed)
+
+    # schema bumps (codec, decode cache, dataset cache) each move the key
+    for attr in ("TRACE_VERSION", "CACHE_VERSION", "DATASET_CACHE_VERSION"):
+        with monkeypatch.context() as m:
+            m.setattr(dc_module, attr, 999)
+            assert cache.corpus_key(corpus).digest != flipped.digest, attr
+
+    # fault plans: inactive == absent, active plans (and their retry budget /
+    # corpus path, which the fault RNG keys on) are part of the identity
+    assert (
+        cache.corpus_key(corpus, faults=FaultPlan()).digest
+        == cache.corpus_key(corpus).digest
+    )
+    faulty = cache.corpus_key(corpus, faults=FaultPlan(io_rate=0.5, seed=3))
+    assert faulty.digest != cache.corpus_key(corpus).digest
+    assert (
+        cache.corpus_key(corpus, faults=FaultPlan(io_rate=0.5, seed=4)).digest
+        != faulty.digest
+    )
+
+    # same bytes in a different directory: clean corpora alias (pure content
+    # addressing), fault-active corpora do not (path-keyed fault RNG)
+    moved = tmp_path / "moved"
+    shutil.copytree(corpus, moved)
+    assert cache.corpus_key(moved).digest == cache.corpus_key(corpus).digest
+    assert (
+        cache.corpus_key(moved, faults=FaultPlan(io_rate=0.5, seed=3)).digest
+        != faulty.digest
+    )
+
+
+def test_unreadable_file_poisons_key(tmp_path):
+    corpus = tmp_path / "corpus"
+    paths = write_synthetic_corpus(corpus, n_benign=2, n_attack=2)
+    cache = DatasetCache(tmp_path / "dc")
+    base = cache.corpus_key(corpus)
+
+    # a file the sweep cannot read contributes a poison token, not its bytes:
+    # the key differs both from the healthy corpus and from the corpus with
+    # the file absent entirely (chmod tricks don't apply under root, so stand
+    # a directory in the file's place — opening it raises IsADirectoryError)
+    target = paths[0]
+    blob = target.read_bytes()
+    target.unlink()
+    target.mkdir()
+    try:
+        unreadable = cache.corpus_key(corpus)
+    finally:
+        target.rmdir()
+        target.write_bytes(blob)
+    target_absent = tmp_path / "absent"
+    shutil.copytree(corpus, target_absent)
+    (target_absent / target.name).unlink()
+    assert unreadable.digest != base.digest
+    assert unreadable.digest != cache.corpus_key(target_absent).digest
+
+
+# ---------------------------------------------------------------------------
+# store / load roundtrip
+# ---------------------------------------------------------------------------
+
+
+def test_assemble_roundtrip_bit_identical(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=4, n_attack=4)
+    kwargs = dict(cache_root=tmp_path / "cc", dataset_cache_root=tmp_path / "dc")
+
+    cold = assemble_corpus(corpus, **kwargs)
+    assert cold.dataset_cache == {
+        "enabled": True, "hit": False, "stored": True,
+        "key": cold.key.digest[:12],
+    }
+    warm = assemble_corpus(corpus, **kwargs)
+    assert warm.dataset_cache["hit"] is True
+
+    assert np.array_equal(np.asarray(warm.dataset.X), cold.dataset.X)
+    assert np.array_equal(np.asarray(warm.dataset.y), cold.dataset.y)
+    assert np.array_equal(np.asarray(warm.dataset.groups), cold.dataset.groups)
+    assert warm.dataset.skipped == cold.dataset.skipped
+    assert warm.ingest == cold.ingest
+    for a, b in zip(cold.dataset.traces, warm.dataset.traces):
+        assert (a.program, a.label, a.attack_class, a.interval, a.n_intervals) == (
+            b.program, b.label, b.attack_class, b.interval, b.n_intervals
+        )
+        # per-trace payload provenance comes from the key sweep
+        assert len(b.payload_sha256) == 64
+    # warm matrices arrive memory-mapped, not copied
+    assert isinstance(warm.dataset.X, np.memmap)
+    assert entry_problems(warm.cache.entry_dir(warm.key.digest)) == []
+
+
+def test_warm_hit_never_touches_the_decoder(tmp_path, monkeypatch):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=3, n_attack=3)
+    assemble_corpus(corpus, dataset_cache_root=tmp_path / "dc")
+
+    def boom(*a, **k):  # decode path must be unreachable on a warm hit
+        raise AssertionError("load_corpus_pooled called on a warm hit")
+
+    monkeypatch.setattr(dc_module, "load_corpus_pooled", boom)
+    warm = assemble_corpus(corpus, dataset_cache_root=tmp_path / "dc")
+    assert warm.dataset_cache["hit"] is True
+
+
+# ---------------------------------------------------------------------------
+# sweep memo: warm sweeps are pure stats, and the memo can never mask a change
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_memo_makes_warm_sweeps_stat_only(tmp_path, monkeypatch):
+    corpus = tmp_path / "corpus"
+    paths = write_synthetic_corpus(corpus, n_benign=4, n_attack=4)
+    cache = DatasetCache(tmp_path / "dc")
+    base = cache.corpus_key(corpus)
+    assert cache._sweep_memo_path(corpus).is_file()
+
+    def boom(path):
+        raise AssertionError(f"re-hashed {path} despite unchanged stats")
+
+    monkeypatch.setattr(dc_module, "_file_digest", boom)
+    assert cache.corpus_key(corpus).digest == base.digest
+    monkeypatch.undo()
+
+    # touching mtime without changing content re-hashes back to the same key
+    os.utime(paths[0])
+    assert cache.corpus_key(corpus).digest == base.digest
+    # a content change is never masked by the memo (write moves mtime)
+    blob = bytearray(paths[0].read_bytes())
+    blob[0] ^= 0xFF
+    paths[0].write_bytes(bytes(blob))
+    assert cache.corpus_key(corpus).digest != base.digest
+
+
+def test_garbled_sweep_memo_degrades_to_full_hash(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=3, n_attack=3)
+    cache = DatasetCache(tmp_path / "dc")
+    base = cache.corpus_key(corpus)
+    memo_path = cache._sweep_memo_path(corpus)
+    memo_path.write_text("not\x00a\x00memo\nnonsense line\n")
+    assert cache.corpus_key(corpus).digest == base.digest
+    assert "nonsense" not in memo_path.read_text()  # fresh sweep healed it
+    # a cache root with no memo at all agrees on the digest
+    assert DatasetCache(tmp_path / "dc2").corpus_key(corpus).digest == base.digest
+
+
+# ---------------------------------------------------------------------------
+# pipeline integration: warm run is bit-identical, metrics report the tier
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_warm_run_bit_identical_metrics(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=6, n_attack=6)
+    common = dict(
+        cache_dir=str(tmp_path / "cc"), dataset_cache_dir=str(tmp_path / "dc")
+    )
+
+    cold = run_pipeline(small_config(corpus, tmp_path / "cold", **common))
+    assert cold["dataset_cache"]["hit"] is False
+    assert cold["dataset_cache"]["stored"] is True
+    assert cold["dataset_cache"]["stats"]["stores"] == 1
+
+    warm = run_pipeline(small_config(corpus, tmp_path / "warm", **common))
+    assert warm["dataset_cache"]["hit"] is True
+    assert warm["dataset_cache"]["normalizer_cached"] is True
+    assert "cache" not in warm["ingest"]  # no decode happened at all
+
+    assert stripped(warm) == stripped(cold)
+    # the reconstructed quarantine manifest and the cached normalizer stats
+    # are written to the run dir exactly as on the cold path
+    assert (tmp_path / "warm" / "quarantine.json").exists()
+    cold_norm = json.loads((tmp_path / "cold" / "normalizer.json").read_text())
+    warm_norm = json.loads((tmp_path / "warm" / "normalizer.json").read_text())
+    assert warm_norm == cold_norm
+
+    # a different split fits (and sidecars) its own normalizer
+    other = run_pipeline(
+        small_config(corpus, tmp_path / "other", seed=11, **common)
+    )
+    assert other["dataset_cache"]["hit"] is True
+    assert other["dataset_cache"]["normalizer_cached"] is False
+
+
+def test_normalized_sidecar_skips_transform_bit_identically(tmp_path, monkeypatch):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=6, n_attack=6)
+    common = dict(dataset_cache_dir=str(tmp_path / "dc"))
+    cold = run_pipeline(small_config(corpus, tmp_path / "cold", **common))
+    assert cold["dataset_cache"]["normalized_cached"] is False
+
+    from repro.features.normalize import Normalizer
+
+    def boom(self, X):
+        raise AssertionError("transform ran despite a normalized sidecar")
+
+    monkeypatch.setattr(Normalizer, "transform", boom)
+    warm = run_pipeline(small_config(corpus, tmp_path / "warm", **common))
+    assert warm["dataset_cache"]["normalized_cached"] is True
+    assert stripped(warm) == stripped(cold)
+
+
+def test_corrupted_normalized_sidecar_falls_back(
+    tmp_path, caplog, propagate_repro_logs
+):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=5, n_attack=5)
+    common = dict(dataset_cache_dir=str(tmp_path / "dc"))
+    cold = run_pipeline(small_config(corpus, tmp_path / "cold", **common))
+
+    cache = DatasetCache(tmp_path / "dc")
+    entry = cache.entry_dir(cache.corpus_key(corpus).digest)
+    sidecar = entry / "normalized_seed7_frac0.3.npy"
+    assert sidecar.is_file()
+    blob = bytearray(sidecar.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    sidecar.write_bytes(bytes(blob))
+
+    with caplog.at_level(logging.INFO, logger="repro"):
+        warm = run_pipeline(small_config(corpus, tmp_path / "warm", **common))
+    assert warm["dataset_cache"]["hit"] is True
+    assert warm["dataset_cache"]["normalized_cached"] is False  # dropped, recomputed
+    assert stripped(warm) == stripped(cold)
+    assert any(
+        "event=dataset_cache.bad_normalized" in r.getMessage() for r in caplog.records
+    )
+    assert entry_problems(entry) == []
+    # the recompute re-published the sidecar, so the next run hits it again
+    redo = run_pipeline(small_config(corpus, tmp_path / "redo", **common))
+    assert redo["dataset_cache"]["normalized_cached"] is True
+
+
+def test_pipeline_quarantining_run_never_aliases_clean_cache(tmp_path):
+    """Satellite regression: a corpus that quarantines files must key (and
+    cache) separately from the clean corpus — byte content differs, and
+    fault-active runs refuse content-only aliasing outright."""
+    corpus = tmp_path / "corpus"
+    paths = write_synthetic_corpus(corpus, n_benign=5, n_attack=5)
+    common = dict(dataset_cache_dir=str(tmp_path / "dc"))
+
+    clean = run_pipeline(small_config(corpus, tmp_path / "clean", **common))
+    assert clean["ingest"]["quarantined"] == 0
+
+    # now damage one payload so ingest quarantines it
+    paths[0].write_bytes(b"\x00" * 64)
+    damaged_cold = run_pipeline(small_config(corpus, tmp_path / "d1", **common))
+    assert damaged_cold["ingest"]["quarantined"] == 1
+    assert damaged_cold["dataset_cache"]["hit"] is False  # no aliasing
+    damaged_warm = run_pipeline(small_config(corpus, tmp_path / "d2", **common))
+    assert damaged_warm["dataset_cache"]["hit"] is True
+    assert damaged_warm["ingest"]["quarantined"] == 1
+    assert stripped(damaged_warm) == stripped(damaged_cold)
+    # the warm run reconstructs the quarantine manifest faithfully
+    q_cold = json.loads((tmp_path / "d1" / "quarantine.json").read_text())
+    q_warm = json.loads((tmp_path / "d2" / "quarantine.json").read_text())
+    assert [e["path"] for e in q_warm["entries"]] == [
+        e["path"] for e in q_cold["entries"]
+    ]
+    assert q_warm["counts"] == q_cold["counts"]
+
+    # same trace bytes but an active fault plan: distinct key, fresh entry
+    faulty = run_pipeline(
+        small_config(
+            corpus, tmp_path / "f1",
+            faults=FaultPlan(io_rate=0.4, seed=9), **common,
+        )
+    )
+    assert faulty["dataset_cache"]["hit"] is False
+
+
+# ---------------------------------------------------------------------------
+# invalidation: damaged entries fall back cold with identical results
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def warmed(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=5, n_attack=5)
+    common = dict(dataset_cache_dir=str(tmp_path / "dc"))
+    cold = run_pipeline(small_config(corpus, tmp_path / "cold", **common))
+    cache = DatasetCache(tmp_path / "dc")
+    entry = cache.entry_dir(cache.corpus_key(corpus).digest)
+    assert entry.is_dir()
+    return corpus, tmp_path, common, cold, entry
+
+
+def _rerun_expect_fallback(warmed_fixture, caplog):
+    corpus, tmp_path, common, cold, entry = warmed_fixture
+    with caplog.at_level(logging.INFO, logger="repro"):
+        redo = run_pipeline(small_config(corpus, tmp_path / "redo", **common))
+    assert redo["dataset_cache"]["hit"] is False  # fell back to cold assembly
+    assert redo["dataset_cache"]["stats"]["invalidated"] == 1
+    assert redo["dataset_cache"]["stored"] is True  # and re-published
+    assert stripped(redo) == stripped(cold)
+    assert any("event=dataset_cache.invalid" in r.getMessage() for r in caplog.records)
+    assert entry_problems(entry) == []  # the republished entry is healthy
+    return redo
+
+
+def test_truncated_shard_falls_back(warmed, caplog, propagate_repro_logs):
+    entry = warmed[-1]
+    shard = entry / "X.npy"
+    shard.write_bytes(shard.read_bytes()[:-16])
+    _rerun_expect_fallback(warmed, caplog)
+
+
+def test_corrupted_shard_crc_falls_back(warmed, caplog, propagate_repro_logs):
+    entry = warmed[-1]
+    shard = entry / "y.npy"
+    blob = bytearray(shard.read_bytes())
+    blob[-1] ^= 0xFF  # same length, different bytes: only the CRC catches it
+    shard.write_bytes(bytes(blob))
+    _rerun_expect_fallback(warmed, caplog)
+
+
+def test_torn_manifest_falls_back(warmed, caplog, propagate_repro_logs):
+    entry = warmed[-1]
+    manifest = entry / MANIFEST_NAME
+    manifest.write_text(manifest.read_text()[: manifest.stat().st_size // 2])
+    redo = _rerun_expect_fallback(warmed, caplog)
+    assert redo["dataset_cache"]["stats"]["hits"] == 0
+
+
+def test_schema_bump_misses_without_invalidation(warmed, monkeypatch):
+    corpus, tmp_path, common, cold, entry = warmed
+    monkeypatch.setattr(dc_module, "DATASET_CACHE_VERSION", 2)
+    redo = run_pipeline(small_config(corpus, tmp_path / "redo", **common))
+    assert redo["dataset_cache"]["hit"] is False
+    # the old entry keys differently now; it is simply never visited
+    assert redo["dataset_cache"]["stats"]["invalidated"] == 0
+    assert entry.is_dir()
+    assert stripped(redo) == stripped(cold)
+
+
+def test_flipped_payload_byte_misses(warmed):
+    corpus, tmp_path, common, cold, entry = warmed
+    target = sorted(corpus.glob("*.pkl"))[0]
+    blob = bytearray(target.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    target.write_bytes(bytes(blob))
+    redo = run_pipeline(small_config(corpus, tmp_path / "redo", **common))
+    assert redo["dataset_cache"]["hit"] is False
+    assert entry.is_dir()  # the clean corpus's entry is untouched
+
+
+def test_store_oserror_degrades_to_cache_off(tmp_path, monkeypatch, caplog,
+                                             propagate_repro_logs):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=3, n_attack=3)
+
+    real_replace = dc_module.os.replace
+
+    def failing_replace(src, dst):
+        if "dc" in str(dst):
+            raise OSError("disk full")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(dc_module.os, "replace", failing_replace)
+    with caplog.at_level(logging.INFO, logger="repro"):
+        assembly = assemble_corpus(corpus, dataset_cache_root=tmp_path / "dc")
+    # the run still produced its dataset; the failed publish logged and left
+    # no half-written entry behind
+    assert assembly.dataset.n_samples > 0
+    assert assembly.dataset_cache["stored"] is False
+    assert assembly.cache.stats.errors == 1
+    assert any("event=dataset_cache.error" in r.getMessage() for r in caplog.records)
+    assert not list((tmp_path / "dc").glob("**/MANIFEST.json"))
+    assert not list((tmp_path / "dc").glob(".tmp-*"))
+
+
+# ---------------------------------------------------------------------------
+# serve.retrain: corpus-directory feedback rides the same tier
+# ---------------------------------------------------------------------------
+
+
+def test_retrain_from_corpus_directory_uses_dataset_cache(tmp_path):
+    from repro.model import ArtifactStore
+    from repro.serve.retrain import retrain
+
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=4, n_attack=4)
+    artifact_root = tmp_path / "artifacts"
+    base = run_pipeline(
+        small_config(corpus, tmp_path / "run", artifact_root=str(artifact_root))
+    )["artifact"]["version"]
+
+    kwargs = dict(mode="full", passes=2, seed=3,
+                  dataset_cache_dir=str(tmp_path / "dc"))
+    v_cold = retrain(str(artifact_root), base, str(corpus), **kwargs)
+    cache = DatasetCache(tmp_path / "dc")
+    assert len(cache) == 1  # the cold retrain populated the tier
+    v_warm = retrain(str(artifact_root), base, str(corpus), **kwargs)
+
+    store = ArtifactStore(str(artifact_root))
+    cold_models = store.load(v_cold).models
+    warm_models = store.load(v_warm).models
+    for a, b in zip(cold_models, warm_models):
+        assert np.array_equal(a.weights, b.weights)  # mmap path is exact
+
+
+# ---------------------------------------------------------------------------
+# audit helper
+# ---------------------------------------------------------------------------
+
+
+def test_entry_problems_reports_each_damage_kind(tmp_path):
+    corpus = tmp_path / "corpus"
+    write_synthetic_corpus(corpus, n_benign=3, n_attack=3)
+    a = assemble_corpus(corpus, dataset_cache_root=tmp_path / "dc")
+    entry = a.cache.entry_dir(a.key.digest)
+    assert entry_problems(entry) == []
+
+    (entry / "stray.bin").write_bytes(b"junk")
+    assert entry_problems(entry) == ["orphan:stray.bin"]
+    (entry / "stray.bin").unlink()
+
+    shard = entry / "groups.npy"
+    blob = shard.read_bytes()
+    shard.write_bytes(blob[:-4])
+    assert any(p.startswith("groups.npy:size_") for p in entry_problems(entry))
+    shard.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+    assert "groups.npy:crc_mismatch" in entry_problems(entry)
+    shard.unlink()
+    assert "groups.npy:missing" in entry_problems(entry)
+
+    (entry / MANIFEST_NAME).write_text("{not json")
+    assert entry_problems(entry) == ["manifest_torn"]
+
+
+# ---------------------------------------------------------------------------
+# Dataset compatibility: cache loads build no source_indices
+# ---------------------------------------------------------------------------
+
+
+def test_dataset_default_has_no_source_indices():
+    ds = Dataset(
+        X=np.zeros((2, 3)), y=np.array([-1, -1]), groups=np.array([0, 0])
+    )
+    assert ds.source_indices is None

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Audit a dataset-cache root: verify every entry's manifest, shard CRCs,
+sizes, and schema versions, and report orphaned shards / leftover temp
+directories that an interrupted publish might have stranded.
+
+Usage::
+
+    PYTHONPATH=src python tools/audit_dataset_cache.py --cache-dir DIR
+        [--out audit_dataset_cache.json] [--quiet]
+
+Exit status is 0 when every entry is internally consistent and no strays
+were found, 1 when the audit found problems worth a look (torn manifests,
+CRC mismatches, orphaned files, stale schemas, abandoned ``.tmp-*`` staging
+directories), 2 on operator error.  The audit never deletes anything —
+damaged entries are self-healing at read time (the cache invalidates and
+falls back to cold assembly); this tool exists to see the damage before a
+run does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.features.dataset_cache import (  # noqa: E402
+    DATASET_CACHE_VERSION,
+    MANIFEST_NAME,
+    entry_problems,
+)
+
+
+def audit(cache_root: Path) -> dict:
+    entries: dict[str, dict] = {}
+    strays: list[str] = []
+
+    # abandoned atomic-publish staging directories (crash between mkdir and
+    # os.replace); harmless but worth sweeping
+    for child in sorted(cache_root.iterdir()):
+        if child.name.startswith(".tmp-"):
+            strays.append(child.name)
+        elif child.name == "sweeps" and child.is_dir():
+            continue  # per-corpus stat+hash memos, not entries
+        elif child.is_dir() and len(child.name) == 2:
+            for stray in sorted(child.iterdir()):
+                if not stray.is_dir():
+                    strays.append(f"{child.name}/{stray.name}")
+        else:
+            strays.append(child.name)
+
+    for manifest in sorted(cache_root.glob("??/*/" + MANIFEST_NAME)):
+        entry = manifest.parent
+        problems = entry_problems(entry)
+        doc: dict = {"problems": problems}
+        try:
+            parsed = json.loads(manifest.read_text())
+            doc["traces"] = len(parsed.get("traces", []))
+            doc["samples"] = (parsed.get("shards", {}).get("X.npy", {}).get("shape") or [None])[0]
+            doc["bytes"] = sum(
+                s.get("bytes", 0) for s in parsed.get("shards", {}).values()
+                if isinstance(s, dict)
+            )
+            doc["created"] = parsed.get("created")
+        except (OSError, ValueError):
+            pass  # already reported by entry_problems
+        entries[entry.name] = doc
+    # entry directories missing their manifest entirely never match the glob
+    # above — sweep for them separately
+    for shard_dir in sorted(cache_root.glob("??/*/")):
+        if shard_dir.name not in entries and shard_dir.is_dir():
+            entries[shard_dir.name] = {"problems": ["manifest_missing"]}
+
+    damaged = {name: doc for name, doc in entries.items() if doc["problems"]}
+    return {
+        "version": 1,
+        "dataset_cache_version": DATASET_CACHE_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "cache_dir": str(cache_root),
+        "entries": len(entries),
+        "healthy": len(entries) - len(damaged),
+        "damaged": damaged,
+        "strays": strays,
+        "total_bytes": sum(doc.get("bytes", 0) for doc in entries.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", required=True, help="dataset-cache root")
+    parser.add_argument("--out", default="audit_dataset_cache.json")
+    parser.add_argument("--quiet", action="store_true", help="suppress the table")
+    args = parser.parse_args(argv)
+
+    cache_root = Path(args.cache_dir)
+    if not cache_root.is_dir():
+        print(f"not a directory: {cache_root}", file=sys.stderr)
+        return 2
+
+    report = audit(cache_root)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    if not args.quiet:
+        print(
+            f"{report['healthy']}/{report['entries']} entries healthy, "
+            f"{report['total_bytes']} shard bytes, {len(report['strays'])} strays"
+        )
+        for name, doc in report["damaged"].items():
+            print(f"  DAMAGED {name[:16]}…: {', '.join(doc['problems'])}")
+        for stray in report["strays"]:
+            print(f"  STRAY {stray}")
+        print(f"report written to {args.out}")
+
+    return 1 if (report["damaged"] or report["strays"]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
